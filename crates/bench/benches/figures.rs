@@ -1,0 +1,28 @@
+//! Criterion benchmarks that run scaled-down versions of every figure/table
+//! generator, so the cost of regenerating the paper's evaluation is tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vanet_bench::{
+    fig1_taxonomy, fig2_discovery, fig3_link_lifetime, fig4_direction, fig5_rsu, fig6_geographic,
+    table1, Effort,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_generators");
+    group.sample_size(10);
+    group.bench_function("fig1_taxonomy", |b| b.iter(fig1_taxonomy));
+    group.bench_function("fig3_link_lifetime", |b| b.iter(fig3_link_lifetime));
+    group.bench_function("fig4_direction", |b| b.iter(fig4_direction));
+    group.finish();
+
+    let mut sims = c.benchmark_group("figure_simulations_quick");
+    sims.sample_size(10);
+    sims.bench_function("fig2_discovery", |b| b.iter(|| fig2_discovery(Effort::Quick)));
+    sims.bench_function("fig5_rsu", |b| b.iter(|| fig5_rsu(Effort::Quick)));
+    sims.bench_function("fig6_geographic", |b| b.iter(|| fig6_geographic(Effort::Quick)));
+    sims.bench_function("table1", |b| b.iter(|| table1(Effort::Quick)));
+    sims.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the analytic models (Fig. 3 / Fig. 4 / Sec. VII):
+//! link-lifetime closed forms, the numeric integrator, the direction
+//! predicate and the probability models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vanet_links::direction::same_direction;
+use vanet_links::lifetime::{
+    link_lifetime_constant_acceleration, link_lifetime_constant_speed, link_lifetime_numeric,
+    link_lifetime_planar,
+};
+use vanet_links::probability::{
+    expected_link_duration, link_availability, receipt_probability,
+    segment_connectivity_probability,
+};
+use vanet_mobility::Vec2;
+
+fn bench_lifetime_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_link_lifetime");
+    group.bench_function("constant_speed_closed_form", |b| {
+        b.iter(|| link_lifetime_constant_speed(black_box(-50.0), 33.0, 28.0, 250.0))
+    });
+    group.bench_function("constant_acceleration_closed_form", |b| {
+        b.iter(|| link_lifetime_constant_acceleration(black_box(-50.0), 33.0, 28.0, 0.5, -0.2, 250.0))
+    });
+    group.bench_function("planar_closed_form", |b| {
+        b.iter(|| {
+            link_lifetime_planar(
+                black_box(Vec2::new(0.0, 0.0)),
+                Vec2::new(33.0, 0.0),
+                Vec2::new(80.0, 4.0),
+                Vec2::new(28.0, 0.0),
+                250.0,
+            )
+        })
+    });
+    group.bench_function("numeric_integration", |b| {
+        b.iter(|| link_lifetime_numeric(black_box(-50.0), |_| 33.0, |_| 28.0, 250.0, 0.05, 600.0))
+    });
+    group.finish();
+}
+
+fn bench_direction(c: &mut Criterion) {
+    c.bench_function("fig4_direction_predicate", |b| {
+        b.iter(|| {
+            same_direction(
+                black_box(Vec2::new(0.0, 0.0)),
+                Vec2::new(30.0, 0.5),
+                Vec2::new(100.0, 4.0),
+                Vec2::new(28.0, -0.5),
+            )
+        })
+    });
+}
+
+fn bench_probability_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec7_probability_models");
+    group.bench_function("expected_link_duration", |b| {
+        b.iter(|| expected_link_duration(black_box(50.0), 5.0, 3.0, 250.0))
+    });
+    group.bench_function("link_availability", |b| {
+        b.iter(|| link_availability(black_box(50.0), 5.0, 3.0, 250.0, 10.0))
+    });
+    group.bench_function("segment_connectivity", |b| {
+        b.iter(|| segment_connectivity_probability(black_box(0.02), 2_000.0, 250.0))
+    });
+    group.bench_function("receipt_probability", |b| {
+        b.iter(|| receipt_probability(black_box(180.0), 250.0, 2.7, 4.0))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lifetime_models, bench_direction, bench_probability_models
+}
+criterion_main!(benches);

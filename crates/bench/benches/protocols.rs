@@ -1,0 +1,35 @@
+//! Criterion benchmarks of end-to-end simulation cost for one representative
+//! protocol per category (Table I's rows), on a small common scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vanet_bench::quick_run;
+use vanet_core::ProtocolKind;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_protocol_simulation");
+    group.sample_size(10);
+    for kind in ProtocolKind::REPRESENTATIVES {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| quick_run(kind, 40, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_density_scaling_aodv");
+    group.sample_size(10);
+    for vehicles in [20usize, 40, 80] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(vehicles),
+            &vehicles,
+            |b, &vehicles| {
+                b.iter(|| quick_run(ProtocolKind::Aodv, vehicles, 7));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_density_scaling);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: the taxonomy of VANET routing techniques.
+fn main() {
+    println!("Figure 1 — taxonomy of VANET routing techniques\n");
+    for line in vanet_bench::fig1_taxonomy() {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 3: link lifetime vs mobility parameters (Eq. 1-4).
+fn main() {
+    println!("Figure 3 — link lifetime vs relative speed / acceleration (r = 250 m)\n");
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>14}",
+        "d0_m", "dv_mps", "da_mps2", "lifetime_s", "E[lifetime]_s"
+    );
+    for p in vanet_bench::fig3_link_lifetime() {
+        println!(
+            "{:>6.0} {:>6.1} {:>8.1} {:>12.1} {:>14.1}",
+            p.initial_separation,
+            p.relative_speed,
+            p.relative_acceleration,
+            p.lifetime_s,
+            p.expected_lifetime_s
+        );
+    }
+}

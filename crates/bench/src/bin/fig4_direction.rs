@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: the velocity-projection direction test and its
+//! effect on link duration.
+fn main() {
+    println!("Figure 4 — same-direction vs opposite-direction link duration\n");
+    println!("{:>10} {:>16} {:>20}", "speed_mps", "same_dir_life_s", "opposite_dir_life_s");
+    for p in vanet_bench::fig4_direction() {
+        println!(
+            "{:>10.0} {:>16.1} {:>20.1}",
+            p.speed, p.same_direction_lifetime_s, p.opposite_direction_lifetime_s
+        );
+    }
+    println!(
+        "\nprojection predicate vs velocity-group classification agreement: {:.0}%",
+        vanet_bench::fig4_predicate_agreement() * 100.0
+    );
+}

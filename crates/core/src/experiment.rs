@@ -1,0 +1,162 @@
+//! Experiment harness: parameter sweeps, multi-seed averaging and table
+//! rendering used to regenerate the paper's figures and Table I.
+
+use crate::metrics::Report;
+use crate::scenario::Scenario;
+use crate::simulation::run_scenario;
+use crate::taxonomy::ProtocolKind;
+
+/// A single experiment cell: one protocol on one scenario, averaged over a
+/// number of seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentCell {
+    /// The protocol evaluated.
+    pub protocol: ProtocolKind,
+    /// The scenario label (e.g. "sparse", "20 veh/km").
+    pub label: String,
+    /// The averaged report.
+    pub report: Report,
+    /// Number of seeds averaged.
+    pub seeds: usize,
+}
+
+/// Averages a set of reports field by field (counts are averaged too, so the
+/// result represents a typical run).
+#[must_use]
+pub fn average_reports(reports: &[Report]) -> Report {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let n = reports.len() as f64;
+    let avg_u = |f: &dyn Fn(&Report) -> u64| -> u64 {
+        (reports.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u64
+    };
+    let avg_f = |f: &dyn Fn(&Report) -> f64| -> f64 { reports.iter().map(f).sum::<f64>() / n };
+    Report {
+        protocol: reports[0].protocol.clone(),
+        scenario: reports[0].scenario.clone(),
+        data_sent: avg_u(&|r| r.data_sent),
+        data_delivered: avg_u(&|r| r.data_delivered),
+        duplicate_deliveries: avg_u(&|r| r.duplicate_deliveries),
+        delivery_ratio: avg_f(&|r| r.delivery_ratio),
+        avg_delay_s: avg_f(&|r| r.avg_delay_s),
+        max_delay_s: avg_f(&|r| r.max_delay_s),
+        avg_hops: avg_f(&|r| r.avg_hops),
+        control_packets: avg_u(&|r| r.control_packets),
+        control_bytes: avg_u(&|r| r.control_bytes),
+        data_transmissions: avg_u(&|r| r.data_transmissions),
+        control_per_delivered: avg_f(&|r| r.control_per_delivered),
+        transmissions_per_delivered: avg_f(&|r| r.transmissions_per_delivered),
+        route_errors: avg_u(&|r| r.route_errors),
+        drops: avg_u(&|r| r.drops),
+        avg_neighbors: avg_f(&|r| r.avg_neighbors),
+    }
+}
+
+/// Runs `protocol` on `scenario` for `seeds` different seeds and averages.
+#[must_use]
+pub fn run_averaged(scenario: &Scenario, protocol: ProtocolKind, seeds: usize) -> Report {
+    let reports: Vec<Report> = (0..seeds.max(1))
+        .map(|s| {
+            let sc = scenario.clone().with_seed(scenario.seed + s as u64);
+            run_scenario(sc, protocol)
+        })
+        .collect();
+    average_reports(&reports)
+}
+
+/// Runs a sweep: every protocol on every scenario, `seeds` seeds each.
+#[must_use]
+pub fn run_matrix(
+    scenarios: &[(String, Scenario)],
+    protocols: &[ProtocolKind],
+    seeds: usize,
+) -> Vec<ExperimentCell> {
+    let mut cells = Vec::new();
+    for (label, scenario) in scenarios {
+        for &protocol in protocols {
+            let report = run_averaged(scenario, protocol, seeds);
+            cells.push(ExperimentCell {
+                protocol,
+                label: label.clone(),
+                report,
+                seeds,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders a matrix of cells as a fixed-width text table, one row per cell.
+#[must_use]
+pub fn render_table(cells: &[ExperimentCell]) -> String {
+    let mut out = String::new();
+    out.push_str(&Report::table_header());
+    out.push('\n');
+    for cell in cells {
+        out.push_str(&cell.report.table_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a matrix of cells as CSV.
+#[must_use]
+pub fn render_csv(cells: &[ExperimentCell]) -> String {
+    let mut out = String::new();
+    out.push_str(&Report::csv_header());
+    out.push('\n');
+    for cell in cells {
+        out.push_str(&cell.report.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanet_sim::SimDuration;
+
+    fn tiny() -> Scenario {
+        Scenario::highway(20)
+            .with_flows(2)
+            .with_duration(SimDuration::from_secs(15.0))
+    }
+
+    #[test]
+    fn averaging_preserves_identity_for_single_report() {
+        let r = run_averaged(&tiny(), ProtocolKind::Greedy, 1);
+        let again = average_reports(&[r.clone()]);
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn averaging_two_seeds_gives_intermediate_values() {
+        let a = run_scenario(tiny().with_seed(1), ProtocolKind::Greedy);
+        let b = run_scenario(tiny().with_seed(2), ProtocolKind::Greedy);
+        let avg = average_reports(&[a.clone(), b.clone()]);
+        let lo = a.delivery_ratio.min(b.delivery_ratio);
+        let hi = a.delivery_ratio.max(b.delivery_ratio);
+        assert!(avg.delivery_ratio >= lo - 1e-12 && avg.delivery_ratio <= hi + 1e-12);
+    }
+
+    #[test]
+    fn matrix_covers_all_combinations() {
+        let scenarios = vec![
+            ("a".to_owned(), tiny()),
+            ("b".to_owned(), tiny().with_seed(5)),
+        ];
+        let protocols = [ProtocolKind::Greedy, ProtocolKind::Flooding];
+        let cells = run_matrix(&scenarios, &protocols, 1);
+        assert_eq!(cells.len(), 4);
+        let table = render_table(&cells);
+        assert!(table.contains("Greedy") && table.contains("Flooding"));
+        let csv = render_csv(&cells);
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn averaging_nothing_panics() {
+        let _ = average_reports(&[]);
+    }
+}

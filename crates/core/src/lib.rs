@@ -1,0 +1,37 @@
+//! # vanet-core — scenarios, simulation driver, metrics and experiments
+//!
+//! The integration layer of the workspace: it wires the mobility substrate
+//! (`vanet-mobility`), the wireless network (`vanet-net`), the analytic link
+//! models (`vanet-links`) and the routing protocols (`vanet-routing`) into a
+//! runnable discrete-event simulation, and provides the experiment harness
+//! used to regenerate every figure and table of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use vanet_core::{run_scenario, ProtocolKind, Scenario};
+//! use vanet_sim::SimDuration;
+//!
+//! let scenario = Scenario::highway(30)
+//!     .with_flows(2)
+//!     .with_duration(SimDuration::from_secs(20.0));
+//! let report = run_scenario(scenario, ProtocolKind::Aodv);
+//! assert!(report.data_sent > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod scenario;
+pub mod simulation;
+pub mod taxonomy;
+
+pub use experiment::{
+    average_reports, render_csv, render_table, run_averaged, run_matrix, ExperimentCell,
+};
+pub use metrics::{Metrics, Report};
+pub use scenario::{ChannelModel, RoadLayout, Scenario, TrafficRegime};
+pub use simulation::{run_scenario, Flow, Simulation};
+pub use taxonomy::{taxonomy_lines, ProtocolKind};

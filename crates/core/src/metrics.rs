@@ -1,0 +1,307 @@
+//! Metrics collected by a simulation run and the report derived from them.
+
+use std::collections::{HashMap, HashSet};
+use vanet_routing::DropReason;
+use vanet_sim::{Counter, NodeId, PacketId, RunningStats, SimTime};
+
+/// Raw per-run metric accumulators (filled in by the simulation driver).
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Data packets handed to the routing layer by the application.
+    pub data_originated: Counter,
+    /// Unique data packets delivered to their destination.
+    pub data_delivered: Counter,
+    /// Additional (duplicate) deliveries of already-delivered packets.
+    pub duplicate_deliveries: Counter,
+    /// Control packets transmitted, by packet-kind name.
+    pub control_packets: HashMap<&'static str, u64>,
+    /// Total control bytes transmitted.
+    pub control_bytes: Counter,
+    /// Data-packet transmissions (including every forwarding hop).
+    pub data_transmissions: Counter,
+    /// Data bytes transmitted.
+    pub data_bytes: Counter,
+    /// Route-error packets transmitted (a proxy for route breaks).
+    pub route_errors: Counter,
+    /// Packet drops by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// End-to-end delay of delivered packets, seconds.
+    pub delays: RunningStats,
+    /// Hop counts of delivered packets.
+    pub hops: RunningStats,
+    /// Number of neighbours sampled over time and nodes.
+    pub neighbor_counts: RunningStats,
+    /// Send time and source of every originated packet (for delay/PDR).
+    pub(crate) outstanding: HashMap<PacketId, (SimTime, NodeId)>,
+    /// Packets already counted as delivered.
+    pub(crate) delivered_ids: HashSet<PacketId>,
+}
+
+impl Metrics {
+    /// Creates an empty metric set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the origination of a data packet.
+    pub fn record_origination(&mut self, id: PacketId, source: NodeId, now: SimTime) {
+        self.data_originated.incr();
+        self.outstanding.insert(id, (now, source));
+    }
+
+    /// Records a delivery; duplicates are counted separately.
+    pub fn record_delivery(&mut self, id: PacketId, hops: u32, now: SimTime) {
+        if self.delivered_ids.contains(&id) {
+            self.duplicate_deliveries.incr();
+            return;
+        }
+        self.delivered_ids.insert(id);
+        self.data_delivered.incr();
+        self.hops.record(f64::from(hops));
+        if let Some((sent, _)) = self.outstanding.get(&id) {
+            self.delays.record(now.saturating_since(*sent).as_secs());
+        }
+    }
+
+    /// Records the transmission of a packet (control or data).
+    pub fn record_transmission(&mut self, kind_name: &'static str, bytes: usize, is_control: bool) {
+        if is_control {
+            *self.control_packets.entry(kind_name).or_insert(0) += 1;
+            self.control_bytes.add(bytes as u64);
+            if kind_name == "RERR" {
+                self.route_errors.incr();
+            }
+        } else {
+            self.data_transmissions.incr();
+            self.data_bytes.add(bytes as u64);
+        }
+    }
+
+    /// Records a drop.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Records a neighbour-count sample.
+    pub fn record_neighbor_count(&mut self, count: usize) {
+        self.neighbor_counts.record(count as f64);
+    }
+
+    /// Total control packets of all kinds.
+    #[must_use]
+    pub fn total_control_packets(&self) -> u64 {
+        self.control_packets.values().sum()
+    }
+
+    /// Packet delivery ratio in `[0, 1]`.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.data_originated.value() == 0 {
+            0.0
+        } else {
+            self.data_delivered.value() as f64 / self.data_originated.value() as f64
+        }
+    }
+
+    /// Produces the final report for a run of `protocol` on `scenario`.
+    #[must_use]
+    pub fn report(&self, protocol: impl Into<String>, scenario: impl Into<String>) -> Report {
+        let delivered = self.data_delivered.value().max(1);
+        Report {
+            protocol: protocol.into(),
+            scenario: scenario.into(),
+            data_sent: self.data_originated.value(),
+            data_delivered: self.data_delivered.value(),
+            duplicate_deliveries: self.duplicate_deliveries.value(),
+            delivery_ratio: self.delivery_ratio(),
+            avg_delay_s: self.delays.mean(),
+            max_delay_s: self.delays.max(),
+            avg_hops: self.hops.mean(),
+            control_packets: self.total_control_packets(),
+            control_bytes: self.control_bytes.value(),
+            data_transmissions: self.data_transmissions.value(),
+            control_per_delivered: self.total_control_packets() as f64 / delivered as f64,
+            transmissions_per_delivered: (self.total_control_packets()
+                + self.data_transmissions.value()) as f64
+                / delivered as f64,
+            route_errors: self.route_errors.value(),
+            drops: self.drops.values().sum(),
+            avg_neighbors: self.neighbor_counts.mean(),
+        }
+    }
+}
+
+/// The summary report of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Protocol name.
+    pub protocol: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Data packets originated.
+    pub data_sent: u64,
+    /// Unique data packets delivered.
+    pub data_delivered: u64,
+    /// Duplicate deliveries (flooding redundancy).
+    pub duplicate_deliveries: u64,
+    /// Packet delivery ratio.
+    pub delivery_ratio: f64,
+    /// Mean end-to-end delay of delivered packets, seconds.
+    pub avg_delay_s: f64,
+    /// Maximum end-to-end delay, seconds.
+    pub max_delay_s: f64,
+    /// Mean hop count of delivered packets.
+    pub avg_hops: f64,
+    /// Control packets transmitted.
+    pub control_packets: u64,
+    /// Control bytes transmitted.
+    pub control_bytes: u64,
+    /// Data-packet transmissions (every hop).
+    pub data_transmissions: u64,
+    /// Control packets per delivered data packet (normalised overhead).
+    pub control_per_delivered: f64,
+    /// Total transmissions per delivered data packet.
+    pub transmissions_per_delivered: f64,
+    /// Route-error packets (route breaks observed).
+    pub route_errors: u64,
+    /// Total packet drops at the routing layer.
+    pub drops: u64,
+    /// Average neighbour count over nodes and time.
+    pub avg_neighbors: f64,
+}
+
+impl Report {
+    /// Header for a fixed-width table of reports.
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:<12} {:<18} {:>6} {:>6} {:>6} {:>8} {:>9} {:>8} {:>10} {:>8}",
+            "protocol",
+            "scenario",
+            "sent",
+            "dlvd",
+            "pdr",
+            "delay_ms",
+            "hops",
+            "ctrl",
+            "ctrl/dlvd",
+            "rerr"
+        )
+    }
+
+    /// One fixed-width table row.
+    #[must_use]
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<12} {:<18} {:>6} {:>6} {:>6.3} {:>8.1} {:>9.2} {:>8} {:>10.1} {:>8}",
+            self.protocol,
+            self.scenario,
+            self.data_sent,
+            self.data_delivered,
+            self.delivery_ratio,
+            self.avg_delay_s * 1_000.0,
+            self.avg_hops,
+            self.control_packets,
+            self.control_per_delivered,
+            self.route_errors
+        )
+    }
+
+    /// CSV header matching [`Report::csv_row`].
+    #[must_use]
+    pub fn csv_header() -> String {
+        "protocol,scenario,sent,delivered,duplicates,pdr,avg_delay_s,avg_hops,control_packets,control_bytes,data_transmissions,control_per_delivered,route_errors,drops,avg_neighbors".to_owned()
+    }
+
+    /// One CSV row.
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.4},{:.4},{:.2},{},{},{},{:.2},{},{},{:.2}",
+            self.protocol,
+            self.scenario,
+            self.data_sent,
+            self.data_delivered,
+            self.duplicate_deliveries,
+            self.delivery_ratio,
+            self.avg_delay_s,
+            self.avg_hops,
+            self.control_packets,
+            self.control_bytes,
+            self.data_transmissions,
+            self.control_per_delivered,
+            self.route_errors,
+            self.drops,
+            self.avg_neighbors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_and_duplicates() {
+        let mut m = Metrics::new();
+        m.record_origination(PacketId(1), NodeId(0), SimTime::ZERO);
+        m.record_origination(PacketId(2), NodeId(0), SimTime::ZERO);
+        m.record_delivery(PacketId(1), 3, SimTime::from_secs(0.5));
+        m.record_delivery(PacketId(1), 3, SimTime::from_secs(0.6));
+        assert_eq!(m.data_delivered.value(), 1);
+        assert_eq!(m.duplicate_deliveries.value(), 1);
+        assert!((m.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!((m.delays.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(m.hops.mean(), 3.0);
+    }
+
+    #[test]
+    fn transmissions_split_control_and_data() {
+        let mut m = Metrics::new();
+        m.record_transmission("RREQ", 24, true);
+        m.record_transmission("RREQ", 24, true);
+        m.record_transmission("RERR", 12, true);
+        m.record_transmission("DATA", 532, false);
+        assert_eq!(m.total_control_packets(), 3);
+        assert_eq!(m.control_bytes.value(), 60);
+        assert_eq!(m.data_transmissions.value(), 1);
+        assert_eq!(m.route_errors.value(), 1);
+    }
+
+    #[test]
+    fn report_normalisations() {
+        let mut m = Metrics::new();
+        for i in 0..10 {
+            m.record_origination(PacketId(i), NodeId(0), SimTime::ZERO);
+        }
+        for i in 0..5 {
+            m.record_delivery(PacketId(i), 2, SimTime::from_secs(0.2));
+        }
+        for _ in 0..20 {
+            m.record_transmission("RREQ", 24, true);
+        }
+        m.record_drop(DropReason::NoRoute);
+        m.record_neighbor_count(7);
+        let r = m.report("AODV", "highway");
+        assert_eq!(r.data_sent, 10);
+        assert_eq!(r.data_delivered, 5);
+        assert!((r.delivery_ratio - 0.5).abs() < 1e-12);
+        assert!((r.control_per_delivered - 4.0).abs() < 1e-12);
+        assert_eq!(r.drops, 1);
+        assert_eq!(r.avg_neighbors, 7.0);
+        // Rendering helpers produce non-empty, aligned output.
+        assert!(!Report::table_header().is_empty());
+        assert!(r.table_row().contains("AODV"));
+        assert!(Report::csv_header().split(',').count() == r.csv_row().split(',').count());
+    }
+
+    #[test]
+    fn empty_metrics_report_is_sane() {
+        let m = Metrics::new();
+        let r = m.report("X", "Y");
+        assert_eq!(r.delivery_ratio, 0.0);
+        assert_eq!(r.data_sent, 0);
+        assert!(r.avg_delay_s.abs() < 1e-12);
+    }
+}

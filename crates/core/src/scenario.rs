@@ -1,0 +1,313 @@
+//! Scenario configuration: traffic regime, road layout, radio, infrastructure
+//! and application traffic.
+
+use vanet_mobility::{HighwayBuilder, MobilityModel, UrbanGridBuilder};
+use vanet_net::MacParams;
+use vanet_sim::{SimDuration, SimRng};
+
+/// Which road layout the scenario uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadLayout {
+    /// Multi-lane bidirectional highway (ring).
+    Highway(HighwayBuilder),
+    /// Manhattan-grid urban area.
+    Urban(UrbanGridBuilder),
+}
+
+/// Radio channel model selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelModel {
+    /// Deterministic unit-disk reception within the nominal range.
+    UnitDisk,
+    /// Log-normal shadowing with the given path-loss exponent and sigma (dB).
+    Shadowing {
+        /// Path-loss exponent.
+        alpha: f64,
+        /// Shadow-fading standard deviation in dB.
+        sigma_db: f64,
+    },
+}
+
+/// The coarse traffic regimes Table I distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficRegime {
+    /// Sparse traffic (rural / night): the network is frequently partitioned.
+    Sparse,
+    /// Normal free-flowing traffic.
+    Normal,
+    /// Congested traffic: high density, low speeds.
+    Congested,
+}
+
+impl TrafficRegime {
+    /// Vehicles per kilometre of highway (per direction) for this regime.
+    #[must_use]
+    pub fn density_per_km(self) -> f64 {
+        match self {
+            TrafficRegime::Sparse => 3.0,
+            TrafficRegime::Normal => 15.0,
+            TrafficRegime::Congested => 60.0,
+        }
+    }
+
+    /// All regimes.
+    pub const ALL: [TrafficRegime; 3] = [
+        TrafficRegime::Sparse,
+        TrafficRegime::Normal,
+        TrafficRegime::Congested,
+    ];
+}
+
+impl std::fmt::Display for TrafficRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrafficRegime::Sparse => "sparse",
+            TrafficRegime::Normal => "normal",
+            TrafficRegime::Congested => "congested",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Complete configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Master random seed.
+    pub seed: u64,
+    /// Road layout and vehicle population.
+    pub layout: RoadLayout,
+    /// Nominal radio range in metres.
+    pub radio_range_m: f64,
+    /// Channel model.
+    pub channel: ChannelModel,
+    /// MAC parameters.
+    pub mac: MacParams,
+    /// Number of road-side units placed evenly along the scenario area.
+    pub rsu_count: usize,
+    /// Wired backbone latency between road-side units.
+    pub backbone_latency: SimDuration,
+    /// Number of constant-bit-rate unicast flows between random vehicle pairs.
+    pub flows: usize,
+    /// Interval between packets of each flow.
+    pub packet_interval: SimDuration,
+    /// Payload size of each data packet, bytes.
+    pub payload_bytes: usize,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Warm-up period before application traffic starts.
+    pub warmup: SimDuration,
+    /// Mobility integration step.
+    pub mobility_step: SimDuration,
+    /// Protocol maintenance tick interval.
+    pub tick_interval: SimDuration,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: "default-highway".to_owned(),
+            seed: 1,
+            layout: RoadLayout::Highway(
+                HighwayBuilder::new().length_m(4_000.0).vehicles(60),
+            ),
+            radio_range_m: 250.0,
+            channel: ChannelModel::UnitDisk,
+            mac: MacParams::default(),
+            rsu_count: 0,
+            backbone_latency: SimDuration::from_millis(5.0),
+            flows: 4,
+            packet_interval: SimDuration::from_secs(1.0),
+            payload_bytes: 512,
+            duration: SimDuration::from_secs(120.0),
+            warmup: SimDuration::from_secs(5.0),
+            mobility_step: SimDuration::from_secs(0.5),
+            tick_interval: SimDuration::from_secs(1.0),
+        }
+    }
+}
+
+impl Scenario {
+    /// A highway scenario with an explicit vehicle count.
+    #[must_use]
+    pub fn highway(vehicles: usize) -> Self {
+        Scenario {
+            name: format!("highway-{vehicles}"),
+            layout: RoadLayout::Highway(
+                HighwayBuilder::new().length_m(4_000.0).vehicles(vehicles),
+            ),
+            ..Self::default()
+        }
+    }
+
+    /// A highway scenario for one of the Table-I traffic regimes.
+    #[must_use]
+    pub fn highway_regime(regime: TrafficRegime) -> Self {
+        let length_km = 4.0;
+        let vehicles = (regime.density_per_km() * length_km * 2.0).round() as usize;
+        let builder = HighwayBuilder::new()
+            .length_m(length_km * 1_000.0)
+            .vehicles(vehicles.max(4))
+            .speed_mean_mps(match regime {
+                TrafficRegime::Congested => 12.0,
+                _ => 30.0,
+            });
+        Scenario {
+            name: format!("highway-{regime}"),
+            layout: RoadLayout::Highway(builder),
+            ..Self::default()
+        }
+    }
+
+    /// An urban Manhattan-grid scenario with an explicit vehicle count.
+    #[must_use]
+    pub fn urban(vehicles: usize) -> Self {
+        Scenario {
+            name: format!("urban-{vehicles}"),
+            layout: RoadLayout::Urban(
+                UrbanGridBuilder::new().blocks(4, 4).block_m(300.0).vehicles(vehicles),
+            ),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the scenario name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of road-side units.
+    #[must_use]
+    pub fn with_rsus(mut self, count: usize) -> Self {
+        self.rsu_count = count;
+        self
+    }
+
+    /// Sets the number of application flows.
+    #[must_use]
+    pub fn with_flows(mut self, flows: usize) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// Sets the simulated duration.
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the radio range.
+    #[must_use]
+    pub fn with_radio_range(mut self, range_m: f64) -> Self {
+        self.radio_range_m = range_m;
+        self
+    }
+
+    /// Sets the channel model.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets how many buses are among the vehicles (highway/urban builders).
+    #[must_use]
+    pub fn with_buses(mut self, buses: usize) -> Self {
+        self.layout = match self.layout {
+            RoadLayout::Highway(b) => RoadLayout::Highway(b.buses(buses)),
+            RoadLayout::Urban(b) => RoadLayout::Urban(b.buses(buses)),
+        };
+        self
+    }
+
+    /// Number of vehicles in the configured layout.
+    #[must_use]
+    pub fn vehicle_count(&self) -> usize {
+        match &self.layout {
+            RoadLayout::Highway(b) => {
+                // The builder stores the count; rebuild a tiny model to read it
+                // without exposing builder internals.
+                let mut rng = SimRng::new(0);
+                b.clone().build(&mut rng).states().len()
+            }
+            RoadLayout::Urban(b) => {
+                let mut rng = SimRng::new(0);
+                b.clone().build(&mut rng).states().len()
+            }
+        }
+    }
+
+    /// Builds the mobility model for this scenario.
+    #[must_use]
+    pub fn build_mobility(&self, rng: &mut SimRng) -> Box<dyn MobilityModel + Send> {
+        match &self.layout {
+            RoadLayout::Highway(b) => Box::new(b.clone().build(rng)),
+            RoadLayout::Urban(b) => Box::new(b.clone().build(rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_have_increasing_density() {
+        assert!(
+            TrafficRegime::Sparse.density_per_km() < TrafficRegime::Normal.density_per_km()
+        );
+        assert!(
+            TrafficRegime::Normal.density_per_km() < TrafficRegime::Congested.density_per_km()
+        );
+        assert_eq!(TrafficRegime::ALL.len(), 3);
+        assert_eq!(TrafficRegime::Sparse.to_string(), "sparse");
+    }
+
+    #[test]
+    fn scenario_builders() {
+        let s = Scenario::highway(40)
+            .with_name("test")
+            .with_seed(9)
+            .with_rsus(3)
+            .with_flows(2)
+            .with_radio_range(300.0);
+        assert_eq!(s.name, "test");
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.rsu_count, 3);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.radio_range_m, 300.0);
+        assert_eq!(s.vehicle_count(), 40);
+    }
+
+    #[test]
+    fn regime_scenarios_scale_population() {
+        let sparse = Scenario::highway_regime(TrafficRegime::Sparse);
+        let congested = Scenario::highway_regime(TrafficRegime::Congested);
+        assert!(sparse.vehicle_count() < congested.vehicle_count());
+    }
+
+    #[test]
+    fn urban_scenario_builds_mobility() {
+        let s = Scenario::urban(25);
+        let mut rng = SimRng::new(1);
+        let m = s.build_mobility(&mut rng);
+        assert_eq!(m.states().len(), 25);
+    }
+
+    #[test]
+    fn buses_can_be_added() {
+        let s = Scenario::highway(20).with_buses(2);
+        assert_eq!(s.vehicle_count(), 20);
+    }
+}

@@ -1,0 +1,510 @@
+//! The simulation driver: wires mobility, the wireless medium, the beaconing
+//! service, application traffic and one routing-protocol instance per node,
+//! and collects the metrics every experiment is built from.
+
+use crate::metrics::{Metrics, Report};
+use crate::scenario::{ChannelModel, Scenario};
+use crate::taxonomy::ProtocolKind;
+use vanet_mobility::{MobilityModel, Position, VehicleKind, VehicleState};
+use vanet_net::{
+    BeaconConfig, LogNormalShadowing, Medium, MediumConfig, Packet, PacketKind, UnitDisk,
+};
+use vanet_routing::{Action, ProtocolContext, RoutingProtocol, TableLocationService};
+use vanet_sim::{
+    FlowId, NodeId, PacketIdAllocator, Scheduler, SimRng, SimTime,
+};
+
+/// One constant-bit-rate application flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Source vehicle.
+    pub source: NodeId,
+    /// Destination vehicle.
+    pub destination: NodeId,
+}
+
+#[derive(Debug)]
+enum Event {
+    MobilityStep,
+    Tick,
+    Beacon(NodeId),
+    FlowSend(usize),
+    PacketArrival {
+        receiver: NodeId,
+        packet: Packet,
+        intended: bool,
+    },
+    BackboneArrival {
+        receiver: NodeId,
+        packet: Packet,
+    },
+}
+
+struct NodeRuntime {
+    id: NodeId,
+    protocol: Box<dyn RoutingProtocol + Send>,
+    neighbors: vanet_net::NeighborTable,
+    rng: SimRng,
+    state: VehicleState,
+}
+
+/// A complete, runnable simulation of one scenario with one protocol.
+pub struct Simulation {
+    scenario: Scenario,
+    mobility: Box<dyn MobilityModel + Send>,
+    mobility_rng: SimRng,
+    nodes: Vec<NodeRuntime>,
+    rsu_ids: Vec<NodeId>,
+    bus_ids: Vec<NodeId>,
+    medium: Medium,
+    medium_rng: SimRng,
+    scheduler: Scheduler<Event>,
+    location: TableLocationService,
+    packet_ids: PacketIdAllocator,
+    metrics: Metrics,
+    flows: Vec<Flow>,
+    beacon_config: BeaconConfig,
+    protocol_name: String,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scenario", &self.scenario.name)
+            .field("protocol", &self.protocol_name)
+            .field("nodes", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation of `scenario` where every node runs a fresh
+    /// instance of `kind`.
+    #[must_use]
+    pub fn new(scenario: Scenario, kind: ProtocolKind) -> Self {
+        Self::with_factory(scenario, &|| kind.build())
+    }
+
+    /// Builds a simulation with a custom protocol factory (one call per node).
+    #[must_use]
+    pub fn with_factory(
+        scenario: Scenario,
+        factory: &dyn Fn() -> Box<dyn RoutingProtocol + Send>,
+    ) -> Self {
+        let master = SimRng::new(scenario.seed);
+        let mut mobility_rng = master.derive("mobility");
+        let medium_rng = master.derive("medium");
+        let mut traffic_rng = master.derive("traffic");
+
+        let mobility = scenario.build_mobility(&mut mobility_rng);
+        let vehicle_states: Vec<VehicleState> = mobility.states().to_vec();
+        let bounds = mobility.bounds();
+
+        // Road-side units are placed evenly along the scenario's x extent.
+        let vehicle_count = vehicle_states.len();
+        let mut rsu_states = Vec::new();
+        for i in 0..scenario.rsu_count {
+            let frac = (i as f64 + 0.5) / scenario.rsu_count as f64;
+            let pos = Position::new(
+                bounds.min.x + frac * bounds.width(),
+                bounds.center().y,
+            );
+            rsu_states.push(VehicleState::stationary(
+                NodeId((vehicle_count + i) as u32),
+                VehicleKind::RoadSideUnit,
+                pos,
+            ));
+        }
+
+        let mut location = TableLocationService::new();
+        let mut nodes = Vec::new();
+        let mut rsu_ids = Vec::new();
+        let mut bus_ids = Vec::new();
+        for state in vehicle_states.iter().chain(rsu_states.iter()) {
+            location.set(state.id, state.position, state.velocity);
+            match state.kind {
+                VehicleKind::RoadSideUnit => rsu_ids.push(state.id),
+                VehicleKind::Bus => bus_ids.push(state.id),
+                VehicleKind::Car => {}
+            }
+            nodes.push(NodeRuntime {
+                id: state.id,
+                protocol: factory(),
+                neighbors: vanet_net::NeighborTable::new(),
+                rng: master.derive_index("node", u64::from(state.id.0)),
+                state: *state,
+            });
+        }
+        let protocol_name = nodes
+            .first()
+            .map(|n| n.protocol.name().to_owned())
+            .unwrap_or_else(|| "none".to_owned());
+
+        let propagation: Box<dyn vanet_net::PropagationModel + Send> = match scenario.channel {
+            ChannelModel::UnitDisk => Box::new(UnitDisk::new(scenario.radio_range_m)),
+            ChannelModel::Shadowing { alpha, sigma_db } => Box::new(LogNormalShadowing::new(
+                scenario.radio_range_m,
+                alpha,
+                sigma_db,
+            )),
+        };
+        let medium = Medium::new(
+            MediumConfig {
+                mac: scenario.mac,
+                promiscuous: true,
+            },
+            propagation,
+        );
+
+        // Application flows between random distinct vehicle pairs.
+        let mut flows = Vec::new();
+        if vehicle_count >= 2 {
+            for i in 0..scenario.flows {
+                let src = traffic_rng.uniform_usize(vehicle_count);
+                let mut dst = traffic_rng.uniform_usize(vehicle_count);
+                while dst == src {
+                    dst = traffic_rng.uniform_usize(vehicle_count);
+                }
+                flows.push(Flow {
+                    id: FlowId(i as u32),
+                    source: NodeId(src as u32),
+                    destination: NodeId(dst as u32),
+                });
+            }
+        }
+
+        let mut sim = Simulation {
+            scheduler: Scheduler::with_horizon(SimTime::ZERO + scenario.duration),
+            scenario,
+            mobility,
+            mobility_rng,
+            nodes,
+            rsu_ids,
+            bus_ids,
+            medium,
+            medium_rng,
+            location,
+            packet_ids: PacketIdAllocator::new(),
+            metrics: Metrics::new(),
+            flows,
+            beacon_config: BeaconConfig::default(),
+            protocol_name,
+        };
+        sim.schedule_initial_events(&mut traffic_rng);
+        sim
+    }
+
+    fn schedule_initial_events(&mut self, traffic_rng: &mut SimRng) {
+        self.scheduler
+            .schedule_after(self.scenario.mobility_step, Event::MobilityStep);
+        self.scheduler
+            .schedule_after(self.scenario.tick_interval, Event::Tick);
+        for i in 0..self.nodes.len() {
+            if let Some(interval) = self.nodes[i].protocol.beacon_interval() {
+                let jitter = interval * traffic_rng.uniform_range(0.0, 1.0);
+                let id = self.nodes[i].id;
+                self.scheduler.schedule_after(jitter, Event::Beacon(id));
+            }
+        }
+        for (i, _flow) in self.flows.iter().enumerate() {
+            let offset = self.scenario.warmup
+                + self.scenario.packet_interval * traffic_rng.uniform_range(0.0, 1.0);
+            self.scheduler.schedule_after(offset, Event::FlowSend(i));
+        }
+    }
+
+    /// The application flows generated for this run.
+    #[must_use]
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// The metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The ids of the road-side units.
+    #[must_use]
+    pub fn rsu_ids(&self) -> &[NodeId] {
+        &self.rsu_ids
+    }
+
+    /// Total number of nodes (vehicles + RSUs).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(&mut self) -> Report {
+        while let Some((now, event)) = self.scheduler.next_event() {
+            self.handle_event(now, event);
+        }
+        self.metrics
+            .report(self.protocol_name.clone(), self.scenario.name.clone())
+    }
+
+    fn node_index(&self, id: NodeId) -> usize {
+        id.index()
+    }
+
+    fn handle_event(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::MobilityStep => {
+                self.mobility
+                    .step(self.scenario.mobility_step, &mut self.mobility_rng);
+                for state in self.mobility.states() {
+                    let idx = self.node_index(state.id);
+                    self.nodes[idx].state = *state;
+                    self.location.set(state.id, state.position, state.velocity);
+                }
+                self.scheduler
+                    .schedule_after(self.scenario.mobility_step, Event::MobilityStep);
+            }
+            Event::Tick => {
+                for idx in 0..self.nodes.len() {
+                    let lost = self.nodes[idx].neighbors.purge_expired(now);
+                    let count = self.nodes[idx].neighbors.len();
+                    self.metrics.record_neighbor_count(count);
+                    for neighbor in lost {
+                        let actions =
+                            self.invoke(idx, now, |p, ctx| p.on_neighbor_lost(ctx, neighbor));
+                        self.process_actions(idx, now, actions);
+                    }
+                    let actions = self.invoke(idx, now, |p, ctx| p.on_tick(ctx));
+                    self.process_actions(idx, now, actions);
+                }
+                self.scheduler
+                    .schedule_after(self.scenario.tick_interval, Event::Tick);
+            }
+            Event::Beacon(node_id) => {
+                let idx = self.node_index(node_id);
+                let Some(interval) = self.nodes[idx].protocol.beacon_interval() else {
+                    return;
+                };
+                let mut hello = Packet::broadcast(node_id, PacketKind::Hello, 0);
+                hello.id = self.packet_ids.allocate();
+                hello.created_at = now;
+                hello.sender_position = Some(self.nodes[idx].state.position);
+                hello.sender_velocity = Some(self.nodes[idx].state.velocity);
+                self.transmit(idx, now, hello);
+                let jitter = 1.0
+                    + self.beacon_config.jitter_fraction
+                        * (self.nodes[idx].rng.uniform() - 0.5);
+                self.scheduler
+                    .schedule_after(interval * jitter, Event::Beacon(node_id));
+            }
+            Event::FlowSend(flow_idx) => {
+                let flow = self.flows[flow_idx];
+                let mut packet =
+                    Packet::data(flow.source, flow.destination, self.scenario.payload_bytes);
+                packet.id = self.packet_ids.allocate();
+                packet.created_at = now;
+                packet.flow = Some(flow.id);
+                self.metrics.record_origination(packet.id, flow.source, now);
+                let idx = self.node_index(flow.source);
+                let actions = self.invoke(idx, now, |p, ctx| p.originate(ctx, packet));
+                self.process_actions(idx, now, actions);
+                self.scheduler
+                    .schedule_after(self.scenario.packet_interval, Event::FlowSend(flow_idx));
+            }
+            Event::PacketArrival {
+                receiver,
+                packet,
+                intended,
+            } => {
+                let idx = self.node_index(receiver);
+                // Every received frame refreshes the neighbour entry for its
+                // transmitter (overhearing counts as neighbour awareness).
+                if let (Some(pos), Some(vel)) = (packet.sender_position, packet.sender_velocity) {
+                    let lifetime = self.beacon_config.lifetime;
+                    self.nodes[idx]
+                        .neighbors
+                        .observe(packet.prev_hop, pos, vel, now, lifetime);
+                }
+                if packet.kind == PacketKind::Hello {
+                    return;
+                }
+                let actions = self.invoke(idx, now, |p, ctx| p.on_packet(ctx, packet, !intended));
+                self.process_actions(idx, now, actions);
+            }
+            Event::BackboneArrival { receiver, packet } => {
+                let idx = self.node_index(receiver);
+                let actions = self.invoke(idx, now, |p, ctx| p.on_packet(ctx, packet, false));
+                self.process_actions(idx, now, actions);
+            }
+        }
+    }
+
+    fn invoke<F>(&mut self, idx: usize, now: SimTime, f: F) -> Vec<Action>
+    where
+        F: FnOnce(&mut (dyn RoutingProtocol + Send), &mut ProtocolContext<'_>) -> Vec<Action>,
+    {
+        let range_m = self.scenario.radio_range_m;
+        let node = &mut self.nodes[idx];
+        let mut ctx = ProtocolContext {
+            node: node.id,
+            now,
+            state: &node.state,
+            neighbors: &node.neighbors,
+            range_m,
+            rsu_ids: &self.rsu_ids,
+            bus_ids: &self.bus_ids,
+            location: &self.location,
+            rng: &mut node.rng,
+            packet_ids: &mut self.packet_ids,
+        };
+        f(node.protocol.as_mut(), &mut ctx)
+    }
+
+    fn transmit(&mut self, sender_idx: usize, now: SimTime, packet: Packet) {
+        self.metrics.record_transmission(
+            packet.kind.name(),
+            packet.size_bytes(),
+            packet.is_control(),
+        );
+        let sender_id = self.nodes[sender_idx].id;
+        let sender_pos = self.nodes[sender_idx].state.position;
+        let positions: Vec<(NodeId, Position)> = self
+            .nodes
+            .iter()
+            .map(|n| (n.id, n.state.position))
+            .collect();
+        let deliveries = self.medium.transmit(
+            now,
+            sender_id,
+            sender_pos,
+            &packet,
+            &positions,
+            &mut self.medium_rng,
+        );
+        for d in deliveries {
+            self.scheduler
+                .schedule_at(
+                    d.arrival,
+                    Event::PacketArrival {
+                        receiver: d.receiver,
+                        packet: packet.clone(),
+                        intended: d.intended,
+                    },
+                )
+                .expect("arrival is never in the past");
+        }
+    }
+
+    fn process_actions(&mut self, node_idx: usize, now: SimTime, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Transmit(packet) => {
+                    let mut packet = packet;
+                    if packet.id == vanet_sim::PacketId(0) && packet.is_control() {
+                        packet.id = self.packet_ids.allocate();
+                    }
+                    self.transmit(node_idx, now, packet);
+                }
+                Action::Deliver(packet) => {
+                    self.metrics.record_delivery(packet.id, packet.hops, now);
+                }
+                Action::Drop { reason, .. } => {
+                    self.metrics.record_drop(reason);
+                }
+                Action::BackboneSend { to, packet } => {
+                    let from = self.nodes[node_idx].id;
+                    if self.rsu_ids.contains(&from) && self.rsu_ids.contains(&to) {
+                        self.metrics.record_transmission("ISYNC", packet.size_bytes(), true);
+                        self.scheduler
+                            .schedule_after(
+                                self.scenario.backbone_latency,
+                                Event::BackboneArrival {
+                                    receiver: to,
+                                    packet,
+                                },
+                            );
+                    } else {
+                        self.metrics.record_drop(vanet_routing::DropReason::NoRoute);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: runs `kind` on `scenario` and returns the report.
+#[must_use]
+pub fn run_scenario(scenario: Scenario, kind: ProtocolKind) -> Report {
+    Simulation::new(scenario, kind).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use vanet_sim::SimDuration;
+
+    fn quick_scenario(vehicles: usize, seed: u64) -> Scenario {
+        Scenario::highway(vehicles)
+            .with_seed(seed)
+            .with_flows(3)
+            .with_duration(SimDuration::from_secs(30.0))
+    }
+
+    #[test]
+    fn aodv_delivers_on_a_dense_highway() {
+        let report = run_scenario(quick_scenario(50, 3), ProtocolKind::Aodv);
+        assert!(report.data_sent > 0, "flows must generate traffic");
+        assert!(
+            report.delivery_ratio > 0.3,
+            "AODV should deliver a reasonable share on a well-connected highway, got {}",
+            report.delivery_ratio
+        );
+        assert!(report.control_packets > 0);
+        assert_eq!(report.protocol, "AODV");
+    }
+
+    #[test]
+    fn flooding_delivers_but_with_much_higher_overhead_than_greedy() {
+        let flood = run_scenario(quick_scenario(60, 4), ProtocolKind::Flooding);
+        let greedy = run_scenario(quick_scenario(60, 4), ProtocolKind::Greedy);
+        assert!(flood.delivery_ratio > 0.3);
+        assert!(greedy.delivery_ratio > 0.2);
+        assert!(
+            flood.transmissions_per_delivered > greedy.transmissions_per_delivered,
+            "flooding must cost more transmissions per delivery ({} vs {})",
+            flood.transmissions_per_delivered,
+            greedy.transmissions_per_delivered
+        );
+    }
+
+    #[test]
+    fn deterministic_replay_with_same_seed() {
+        let a = run_scenario(quick_scenario(30, 7), ProtocolKind::Aodv);
+        let b = run_scenario(quick_scenario(30, 7), ProtocolKind::Aodv);
+        assert_eq!(a, b, "same seed must give identical reports");
+        let c = run_scenario(quick_scenario(30, 8), ProtocolKind::Aodv);
+        assert_ne!(a.data_delivered == c.data_delivered, a.control_packets != c.control_packets);
+    }
+
+    #[test]
+    fn rsus_are_added_as_nodes() {
+        let sim = Simulation::new(quick_scenario(20, 5).with_rsus(4), ProtocolKind::Drr);
+        assert_eq!(sim.node_count(), 24);
+        assert_eq!(sim.rsu_ids().len(), 4);
+        assert_eq!(sim.flows().len(), 3);
+    }
+
+    #[test]
+    fn beaconing_protocols_report_neighbor_counts() {
+        let mut sim = Simulation::new(quick_scenario(30, 6), ProtocolKind::Greedy);
+        let report = sim.run();
+        assert!(
+            report.avg_neighbors > 0.5,
+            "beaconing should populate neighbour tables, got {}",
+            report.avg_neighbors
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The programmatic version of the paper's Fig. 1: the taxonomy of VANET
+//! routing techniques, mapping each category to the protocols implemented in
+//! this workspace and providing constructors for all of them.
+
+use vanet_routing::{
+    abedi, aodv, car, greedy, gvgrid, pbr, rear, rover, taleb, Biswas, BusFerry, Category, Drr,
+    Dsdv, Flooding, RoutingProtocol, Yan, YanConfig, Zone,
+};
+
+/// Every protocol implemented in the workspace, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ProtocolKind {
+    Flooding,
+    Biswas,
+    Aodv,
+    Dsdv,
+    Pbr,
+    Taleb,
+    Abedi,
+    Drr,
+    Bus,
+    Greedy,
+    Zone,
+    Rover,
+    Yan,
+    YanTbpss,
+    Car,
+    Rear,
+    GvGrid,
+}
+
+impl ProtocolKind {
+    /// All implemented protocols in taxonomy order.
+    pub const ALL: [ProtocolKind; 17] = [
+        ProtocolKind::Flooding,
+        ProtocolKind::Biswas,
+        ProtocolKind::Aodv,
+        ProtocolKind::Dsdv,
+        ProtocolKind::Pbr,
+        ProtocolKind::Taleb,
+        ProtocolKind::Abedi,
+        ProtocolKind::Drr,
+        ProtocolKind::Bus,
+        ProtocolKind::Greedy,
+        ProtocolKind::Zone,
+        ProtocolKind::Rover,
+        ProtocolKind::Yan,
+        ProtocolKind::YanTbpss,
+        ProtocolKind::Car,
+        ProtocolKind::Rear,
+        ProtocolKind::GvGrid,
+    ];
+
+    /// One representative protocol per category, used by the Table I
+    /// comparison experiment.
+    pub const REPRESENTATIVES: [ProtocolKind; 5] = [
+        ProtocolKind::Aodv,
+        ProtocolKind::Pbr,
+        ProtocolKind::Drr,
+        ProtocolKind::Greedy,
+        ProtocolKind::Yan,
+    ];
+
+    /// The taxonomy category the protocol belongs to (Fig. 1).
+    #[must_use]
+    pub fn category(self) -> Category {
+        match self {
+            ProtocolKind::Flooding
+            | ProtocolKind::Biswas
+            | ProtocolKind::Aodv
+            | ProtocolKind::Dsdv => Category::Connectivity,
+            ProtocolKind::Pbr | ProtocolKind::Taleb | ProtocolKind::Abedi => Category::Mobility,
+            ProtocolKind::Drr | ProtocolKind::Bus => Category::Infrastructure,
+            ProtocolKind::Greedy | ProtocolKind::Zone | ProtocolKind::Rover => {
+                Category::Geographic
+            }
+            ProtocolKind::Yan
+            | ProtocolKind::YanTbpss
+            | ProtocolKind::Car
+            | ProtocolKind::Rear
+            | ProtocolKind::GvGrid => Category::Probability,
+        }
+    }
+
+    /// The protocol's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Flooding => "Flooding",
+            ProtocolKind::Biswas => "Biswas",
+            ProtocolKind::Aodv => "AODV",
+            ProtocolKind::Dsdv => "DSDV",
+            ProtocolKind::Pbr => "PBR",
+            ProtocolKind::Taleb => "Taleb",
+            ProtocolKind::Abedi => "Abedi",
+            ProtocolKind::Drr => "DRR",
+            ProtocolKind::Bus => "Bus",
+            ProtocolKind::Greedy => "Greedy",
+            ProtocolKind::Zone => "Zone",
+            ProtocolKind::Rover => "ROVER",
+            ProtocolKind::Yan => "Yan",
+            ProtocolKind::YanTbpss => "Yan-TBPSS",
+            ProtocolKind::Car => "CAR",
+            ProtocolKind::Rear => "REAR",
+            ProtocolKind::GvGrid => "GVGrid",
+        }
+    }
+
+    /// Builds a fresh protocol instance of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn RoutingProtocol + Send> {
+        match self {
+            ProtocolKind::Flooding => Box::new(Flooding::new()),
+            ProtocolKind::Biswas => Box::new(Biswas::new()),
+            ProtocolKind::Aodv => Box::new(aodv()),
+            ProtocolKind::Dsdv => Box::new(Dsdv::new()),
+            ProtocolKind::Pbr => Box::new(pbr()),
+            ProtocolKind::Taleb => Box::new(taleb()),
+            ProtocolKind::Abedi => Box::new(abedi()),
+            ProtocolKind::Drr => Box::new(Drr::new()),
+            ProtocolKind::Bus => Box::new(BusFerry::new()),
+            ProtocolKind::Greedy => Box::new(greedy()),
+            ProtocolKind::Zone => Box::new(Zone::new()),
+            ProtocolKind::Rover => Box::new(rover()),
+            ProtocolKind::Yan => Box::new(Yan::new()),
+            ProtocolKind::YanTbpss => Box::new(Yan::with_config(YanConfig::stability_constrained())),
+            ProtocolKind::Car => Box::new(car()),
+            ProtocolKind::Rear => Box::new(rear()),
+            ProtocolKind::GvGrid => Box::new(gvgrid()),
+        }
+    }
+
+    /// All protocols belonging to `category`.
+    #[must_use]
+    pub fn in_category(category: Category) -> Vec<ProtocolKind> {
+        Self::ALL
+            .into_iter()
+            .filter(|p| p.category() == category)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Renders the taxonomy (Fig. 1) as lines of `category: protocol, protocol…`.
+#[must_use]
+pub fn taxonomy_lines() -> Vec<String> {
+    Category::ALL
+        .iter()
+        .map(|&cat| {
+            let names: Vec<&str> = ProtocolKind::in_category(cat)
+                .into_iter()
+                .map(ProtocolKind::name)
+                .collect();
+            format!("{cat}: {}", names.join(", "))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_category_has_protocols() {
+        for cat in Category::ALL {
+            assert!(
+                !ProtocolKind::in_category(cat).is_empty(),
+                "category {cat} has no protocols"
+            );
+        }
+    }
+
+    #[test]
+    fn built_protocols_report_consistent_identity() {
+        for kind in ProtocolKind::ALL {
+            let proto = kind.build();
+            assert_eq!(proto.name(), kind.name(), "name mismatch for {kind:?}");
+            assert_eq!(
+                proto.category(),
+                kind.category(),
+                "category mismatch for {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn representatives_cover_all_five_categories() {
+        let mut cats: Vec<Category> = ProtocolKind::REPRESENTATIVES
+            .iter()
+            .map(|p| p.category())
+            .collect();
+        cats.sort();
+        cats.dedup();
+        assert_eq!(cats.len(), 5);
+    }
+
+    #[test]
+    fn taxonomy_rendering_mentions_every_protocol() {
+        let lines = taxonomy_lines();
+        assert_eq!(lines.len(), 5);
+        let joined = lines.join("\n");
+        for kind in ProtocolKind::ALL {
+            assert!(joined.contains(kind.name()), "{} missing", kind.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ProtocolKind::Aodv.to_string(), "AODV");
+        assert_eq!(ProtocolKind::YanTbpss.to_string(), "Yan-TBPSS");
+    }
+}

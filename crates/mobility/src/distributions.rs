@@ -1,0 +1,492 @@
+//! In-house probability distributions.
+//!
+//! The survey's probability-model-based protocols assume speed and
+//! acceleration are normally distributed and inter-vehicle spacing is
+//! exponentially / gamma / log-normally distributed (Sec. VII-A). Rather than
+//! pulling in an extra dependency we implement the handful of samplers and
+//! density functions needed, and test them against their analytic moments.
+
+use vanet_sim::SimRng;
+
+/// A sampler that draws `f64` values from a distribution.
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+}
+
+/// Normal (Gaussian) distribution, sampled with the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+        Normal { mu, sigma }
+    }
+
+    /// The mean parameter.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The standard-deviation parameter.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density function at `x`.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x == self.mu { f64::INFINITY } else { 0.0 };
+        }
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x >= self.mu { 1.0 } else { 0.0 };
+        }
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+impl Sampler for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        // Box–Muller transform.
+        let u1 = rng.uniform().max(f64::MIN_POSITIVE);
+        let u2 = rng.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mu + self.sigma * r * theta.cos()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Normal distribution truncated to `[low, high]`, sampled by rejection.
+///
+/// Used for vehicle speeds: a speed is normally distributed around the lane's
+/// cruise speed but physically bounded by 0 and the speed limit `v_m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    low: f64,
+    high: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal on `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or `sigma < 0`.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64, low: f64, high: f64) -> Self {
+        assert!(low < high, "truncation range must be non-empty");
+        TruncatedNormal {
+            inner: Normal::new(mu, sigma),
+            low,
+            high,
+        }
+    }
+
+    /// Lower truncation bound.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper truncation bound.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl Sampler for TruncatedNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Rejection sampling with a clamped fallback: for the parameters used
+        // in the scenarios (mu well inside the range) rejection terminates in
+        // a couple of iterations; the fallback guarantees termination.
+        for _ in 0..64 {
+            let x = self.inner.sample(rng);
+            if x >= self.low && x <= self.high {
+                return x;
+            }
+        }
+        self.inner.sample(rng).clamp(self.low, self.high)
+    }
+
+    fn mean(&self) -> f64 {
+        // Approximation: for the truncation ranges used in scenarios the mean
+        // is close to the untruncated mean clamped into the interval.
+        self.inner.mean().clamp(self.low, self.high)
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Used for shadow-fading of the received signal strength (REAR model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    log_mu: f64,
+    log_sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose *logarithm* has mean `log_mu` and standard
+    /// deviation `log_sigma`.
+    #[must_use]
+    pub fn new(log_mu: f64, log_sigma: f64) -> Self {
+        assert!(log_sigma.is_finite() && log_sigma >= 0.0, "sigma must be >= 0");
+        LogNormal { log_mu, log_sigma }
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        Normal::new(self.log_mu, self.log_sigma).sample(rng).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.log_mu + 0.5 * self.log_sigma * self.log_sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.log_sigma * self.log_sigma;
+        (s2.exp() - 1.0) * (2.0 * self.log_mu + s2).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+///
+/// Inter-vehicle headways in free-flowing traffic are commonly modelled as
+/// exponential; this drives the CAR segment-connectivity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda` (events per unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Cumulative distribution function at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.uniform().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+}
+
+/// Poisson distribution with mean `lambda`, sampled by inversion (small
+/// lambda) or normal approximation (large lambda).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Poisson { lambda }
+    }
+
+    /// Draws an integer sample.
+    #[must_use]
+    pub fn sample_count(&self, rng: &mut SimRng) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's inversion method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.uniform();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction.
+            let n = Normal::new(self.lambda, self.lambda.sqrt());
+            n.sample(rng).round().max(0.0) as u64
+        }
+    }
+}
+
+impl Sampler for Poisson {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_count(rng) as f64
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta` (Marsaglia–Tsang).
+///
+/// One of the inter-vehicle spacing models mentioned in Sec. VII-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with shape `k` and scale `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        Gamma { shape, scale }
+    }
+}
+
+impl Sampler for Gamma {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Marsaglia & Tsang (2000). For shape < 1 use the boost trick.
+        if self.shape < 1.0 {
+            let u = rng.uniform().max(f64::MIN_POSITIVE);
+            let g = Gamma::new(self.shape + 1.0, self.scale);
+            return g.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let std_normal = Normal::new(0.0, 1.0);
+        loop {
+            let x = std_normal.sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = rng.uniform().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+/// The error function, via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (absolute error < 1.5e-7, ample for reception-probability curves).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let a1 = 0.254_829_592;
+    let a2 = -0.284_496_736;
+    let a3 = 1.421_413_741;
+    let a4 = -1.453_152_027;
+    let a5 = 1.061_405_429;
+    let p = 0.327_591_1;
+    let t = 1.0 / (1.0 + p * x);
+    let y = 1.0 - (((((a5 * t + a4) * t) + a3) * t + a2) * t + a1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+#[must_use]
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats(s: &impl Sampler, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SimRng::new(seed);
+        let mut stats = vanet_sim::RunningStats::new();
+        for _ in 0..n {
+            stats.record(s.sample(&mut rng));
+        }
+        (stats.mean(), stats.variance())
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(25.0, 4.0);
+        let (m, v) = sample_stats(&d, 40_000, 1);
+        assert!((m - 25.0).abs() < 0.1, "mean {m}");
+        assert!((v - 16.0).abs() < 0.6, "variance {v}");
+    }
+
+    #[test]
+    fn normal_pdf_cdf() {
+        let d = Normal::new(0.0, 1.0);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((d.cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((d.pdf(0.0) - 0.398_942).abs() < 1e-5);
+        assert!(d.cdf(5.0) > d.cdf(-5.0));
+        let degenerate = Normal::new(2.0, 0.0);
+        assert_eq!(degenerate.cdf(1.9), 0.0);
+        assert_eq!(degenerate.cdf(2.1), 1.0);
+        let mut rng = SimRng::new(2);
+        assert_eq!(degenerate.sample(&mut rng), 2.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = TruncatedNormal::new(30.0, 10.0, 0.0, 36.0);
+        let mut rng = SimRng::new(3);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=36.0).contains(&x), "sample {x} out of bounds");
+        }
+        assert_eq!(d.low(), 0.0);
+        assert_eq!(d.high(), 36.0);
+    }
+
+    #[test]
+    fn exponential_moments_and_cdf() {
+        let d = Exponential::new(0.05);
+        let (m, v) = sample_stats(&d, 40_000, 4);
+        assert!((m - 20.0).abs() < 0.5, "mean {m}");
+        assert!((v - 400.0).abs() < 30.0, "variance {v}");
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(20.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.lambda(), 0.05);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let d = LogNormal::new(0.0, 0.5);
+        let (m, _) = sample_stats(&d, 60_000, 5);
+        assert!((m - d.mean()).abs() < 0.03, "mean {m} vs {}", d.mean());
+        assert!(d.variance() > 0.0);
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let d = Poisson::new(4.0);
+        let (m, v) = sample_stats(&d, 30_000, 6);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        assert!((v - 4.0).abs() < 0.25, "variance {v}");
+        let big = Poisson::new(200.0);
+        let (m, _) = sample_stats(&big, 10_000, 7);
+        assert!((m - 200.0).abs() < 1.5, "large-lambda mean {m}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let d = Gamma::new(2.0, 10.0);
+        let (m, v) = sample_stats(&d, 40_000, 8);
+        assert!((m - 20.0).abs() < 0.5, "mean {m}");
+        assert!((v - 200.0).abs() < 20.0, "variance {v}");
+        let small_shape = Gamma::new(0.5, 1.0);
+        let (m, _) = sample_stats(&small_shape, 40_000, 9);
+        assert!((m - 0.5).abs() < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((std_normal_cdf(1.644_85) - 0.95).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn truncated_normal_rejects_empty_range() {
+        let _ = TruncatedNormal::new(0.0, 1.0, 5.0, 5.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! 2-D geometry primitives: vectors, positions, velocities and headings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector in metres (or metres/second when used as a velocity).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Creates a unit vector pointing at `angle` radians from the +x axis.
+    #[must_use]
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2 {
+            x: angle.cos(),
+            y: angle.sin(),
+        }
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the cross product (signed area).
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction, or zero if this is the zero vector.
+    #[must_use]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec2::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// The vector rotated by 90° counter-clockwise.
+    #[must_use]
+    pub fn perpendicular(self) -> Vec2 {
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
+    }
+
+    /// Angle from the +x axis in radians, in `(-π, π]`.
+    #[must_use]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Projects `self` onto the direction of `onto` (scalar projection).
+    ///
+    /// Returns 0 if `onto` is the zero vector.
+    #[must_use]
+    pub fn scalar_projection_onto(self, onto: Vec2) -> f64 {
+        let n = onto.norm();
+        if n == 0.0 {
+            0.0
+        } else {
+            self.dot(onto) / n
+        }
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, o: Vec2) {
+        self.x -= o.x;
+        self.y -= o.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A position on the plane, in metres.
+pub type Position = Vec2;
+
+/// A velocity vector, in metres per second.
+pub type Velocity = Vec2;
+
+/// Euclidean distance between two positions, in metres.
+#[must_use]
+pub fn distance(a: Position, b: Position) -> f64 {
+    (a - b).norm()
+}
+
+/// A compass-free heading: the direction of travel as a unit vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Heading(Vec2);
+
+impl Heading {
+    /// East (+x).
+    pub const EAST: Heading = Heading(Vec2 { x: 1.0, y: 0.0 });
+    /// West (−x).
+    pub const WEST: Heading = Heading(Vec2 { x: -1.0, y: 0.0 });
+    /// North (+y).
+    pub const NORTH: Heading = Heading(Vec2 { x: 0.0, y: 1.0 });
+    /// South (−y).
+    pub const SOUTH: Heading = Heading(Vec2 { x: 0.0, y: -1.0 });
+
+    /// Creates a heading from an arbitrary (non-zero) direction vector.
+    ///
+    /// Falls back to [`Heading::EAST`] for a zero vector.
+    #[must_use]
+    pub fn from_vec(v: Vec2) -> Self {
+        let n = v.normalized();
+        if n == Vec2::ZERO {
+            Heading::EAST
+        } else {
+            Heading(n)
+        }
+    }
+
+    /// The unit direction vector.
+    #[must_use]
+    pub fn unit(self) -> Vec2 {
+        self.0
+    }
+
+    /// The opposite heading.
+    #[must_use]
+    pub fn reversed(self) -> Heading {
+        Heading(-self.0)
+    }
+
+    /// Angle between two headings, in radians, in `[0, π]`.
+    #[must_use]
+    pub fn angle_to(self, other: Heading) -> f64 {
+        self.0.dot(other.0).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Whether two headings point in broadly the same direction (angle < 90°).
+    #[must_use]
+    pub fn same_direction(self, other: Heading) -> bool {
+        self.0.dot(other.0) > 0.0
+    }
+}
+
+impl Default for Heading {
+    fn default() -> Self {
+        Heading::EAST
+    }
+}
+
+impl fmt::Display for Heading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}°", self.0.angle().to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, -0.5));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(distance(Vec2::ZERO, a), 5.0);
+        assert_eq!(a.normalized().norm(), 1.0);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn dot_cross_projection() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 2.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 2.0);
+        assert_eq!(a.perpendicular(), Vec2::new(0.0, 1.0));
+        let v = Vec2::new(3.0, 4.0);
+        assert!((v.scalar_projection_onto(Vec2::new(1.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert_eq!(v.scalar_projection_onto(Vec2::ZERO), 0.0);
+    }
+
+    #[test]
+    fn angles() {
+        let e = Vec2::from_angle(0.0);
+        assert!((e.x - 1.0).abs() < 1e-12);
+        let n = Vec2::from_angle(std::f64::consts::FRAC_PI_2);
+        assert!((n.y - 1.0).abs() < 1e-12);
+        assert!((n.angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headings() {
+        assert!(Heading::EAST.same_direction(Heading::from_vec(Vec2::new(5.0, 1.0))));
+        assert!(!Heading::EAST.same_direction(Heading::WEST));
+        assert_eq!(Heading::EAST.reversed().unit(), Vec2::new(-1.0, 0.0));
+        let angle = Heading::EAST.angle_to(Heading::NORTH);
+        assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(Heading::from_vec(Vec2::ZERO), Heading::EAST);
+        assert_eq!(Heading::default(), Heading::EAST);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Vec2::new(1.0, 2.0).to_string(), "(1.00, 2.00)");
+        assert_eq!(Heading::NORTH.to_string(), "90°");
+    }
+}

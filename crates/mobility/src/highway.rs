@@ -1,0 +1,562 @@
+//! Multi-lane bidirectional highway scenario.
+//!
+//! The highway is modelled as a ring of configurable length: vehicles that
+//! pass the end re-enter at the beginning, which keeps the density constant
+//! over arbitrarily long runs (equivalent to "a vehicle leaves the stretch and
+//! another one enters"). Vehicles follow the IDM car-following law within
+//! their lane and may change lanes when blocked, so raising the vehicle count
+//! produces genuine congestion.
+
+use crate::car_following::{IdmParams, LeaderInfo};
+use crate::distributions::{Sampler, TruncatedNormal};
+use crate::geometry::{Heading, Position, Vec2};
+use crate::model::{MobilityModel, RegionBounds};
+use crate::vehicle::{VehicleKind, VehicleState};
+use serde::{Deserialize, Serialize};
+use vanet_sim::{NodeId, SimDuration, SimRng};
+
+/// Configuration and builder for a [`HighwayModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HighwayBuilder {
+    length_m: f64,
+    lanes_per_direction: usize,
+    lane_width_m: f64,
+    vehicles: usize,
+    buses: usize,
+    speed_limit_mps: f64,
+    speed_mean_mps: f64,
+    speed_std_mps: f64,
+    bidirectional: bool,
+    idm: IdmParams,
+    lane_change_enabled: bool,
+    first_node_id: u32,
+}
+
+impl Default for HighwayBuilder {
+    fn default() -> Self {
+        HighwayBuilder {
+            length_m: 5_000.0,
+            lanes_per_direction: 2,
+            lane_width_m: 4.0,
+            vehicles: 50,
+            buses: 0,
+            speed_limit_mps: 36.0, // ~130 km/h
+            speed_mean_mps: 30.0,  // ~108 km/h
+            speed_std_mps: 4.0,
+            bidirectional: true,
+            idm: IdmParams::default(),
+            lane_change_enabled: true,
+            first_node_id: 0,
+        }
+    }
+}
+
+impl HighwayBuilder {
+    /// Creates a builder with defaults (5 km, 2+2 lanes, 50 vehicles).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the highway length in metres.
+    #[must_use]
+    pub fn length_m(mut self, length: f64) -> Self {
+        self.length_m = length;
+        self
+    }
+
+    /// Sets the number of lanes per direction.
+    #[must_use]
+    pub fn lanes_per_direction(mut self, lanes: usize) -> Self {
+        self.lanes_per_direction = lanes.max(1);
+        self
+    }
+
+    /// Sets the total number of vehicles (cars + buses).
+    #[must_use]
+    pub fn vehicles(mut self, count: usize) -> Self {
+        self.vehicles = count;
+        self
+    }
+
+    /// Sets how many of the vehicles are buses (message ferries).
+    #[must_use]
+    pub fn buses(mut self, count: usize) -> Self {
+        self.buses = count;
+        self
+    }
+
+    /// Sets the legal speed limit `v_m` in m/s.
+    #[must_use]
+    pub fn speed_limit_mps(mut self, v: f64) -> Self {
+        self.speed_limit_mps = v;
+        self
+    }
+
+    /// Sets the mean desired speed in m/s.
+    #[must_use]
+    pub fn speed_mean_mps(mut self, v: f64) -> Self {
+        self.speed_mean_mps = v;
+        self
+    }
+
+    /// Sets the standard deviation of desired speed in m/s.
+    #[must_use]
+    pub fn speed_std_mps(mut self, v: f64) -> Self {
+        self.speed_std_mps = v;
+        self
+    }
+
+    /// Enables or disables the opposite carriageway.
+    #[must_use]
+    pub fn bidirectional(mut self, yes: bool) -> Self {
+        self.bidirectional = yes;
+        self
+    }
+
+    /// Overrides the car-following parameters.
+    #[must_use]
+    pub fn idm(mut self, idm: IdmParams) -> Self {
+        self.idm = idm;
+        self
+    }
+
+    /// Enables or disables lane changing.
+    #[must_use]
+    pub fn lane_changes(mut self, yes: bool) -> Self {
+        self.lane_change_enabled = yes;
+        self
+    }
+
+    /// Sets the node id assigned to the first vehicle (subsequent vehicles get
+    /// consecutive ids). Useful when vehicles coexist with RSUs that occupy a
+    /// separate id range.
+    #[must_use]
+    pub fn first_node_id(mut self, id: u32) -> Self {
+        self.first_node_id = id;
+        self
+    }
+
+    /// Vehicle density per direction in vehicles/km (informational).
+    #[must_use]
+    pub fn density_per_km(&self) -> f64 {
+        let directions = if self.bidirectional { 2.0 } else { 1.0 };
+        self.vehicles as f64 / directions / (self.length_m / 1_000.0)
+    }
+
+    /// Builds the highway, placing vehicles uniformly along the ring with
+    /// per-vehicle desired speeds drawn from a truncated normal distribution.
+    #[must_use]
+    pub fn build(self, rng: &mut SimRng) -> HighwayModel {
+        let lane_count = if self.bidirectional {
+            self.lanes_per_direction * 2
+        } else {
+            self.lanes_per_direction
+        };
+        let speed_dist = TruncatedNormal::new(
+            self.speed_mean_mps,
+            self.speed_std_mps,
+            5.0_f64.min(self.speed_mean_mps * 0.5),
+            self.speed_limit_mps,
+        );
+        let mut vehicles = Vec::with_capacity(self.vehicles);
+        for i in 0..self.vehicles {
+            let kind = if i < self.buses {
+                VehicleKind::Bus
+            } else {
+                VehicleKind::Car
+            };
+            let lane = rng.uniform_usize(lane_count.max(1));
+            let s = rng.uniform_range(0.0, self.length_m.max(1.0));
+            let desired = match kind {
+                VehicleKind::Bus => (self.speed_mean_mps * 0.7).min(self.speed_limit_mps),
+                _ => speed_dist.sample(rng),
+            };
+            let idm = match kind {
+                VehicleKind::Bus => IdmParams::bus(),
+                _ => self.idm,
+            };
+            vehicles.push(HighwayVehicle {
+                id: NodeId(self.first_node_id + i as u32),
+                kind,
+                lane,
+                s,
+                speed: desired * rng.uniform_range(0.85, 1.0),
+                desired_speed: desired,
+                acceleration: 0.0,
+                idm,
+            });
+        }
+        let mut model = HighwayModel {
+            config: self,
+            vehicles,
+            states: Vec::new(),
+            lane_count,
+        };
+        model.refresh_states();
+        model
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HighwayVehicle {
+    id: NodeId,
+    kind: VehicleKind,
+    lane: usize,
+    /// Longitudinal position along the ring, metres in `[0, length)`.
+    s: f64,
+    speed: f64,
+    desired_speed: f64,
+    acceleration: f64,
+    idm: IdmParams,
+}
+
+/// A multi-lane (optionally bidirectional) ring highway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HighwayModel {
+    config: HighwayBuilder,
+    vehicles: Vec<HighwayVehicle>,
+    states: Vec<VehicleState>,
+    lane_count: usize,
+}
+
+impl HighwayModel {
+    /// The builder/configuration this model was constructed from.
+    #[must_use]
+    pub fn config(&self) -> &HighwayBuilder {
+        &self.config
+    }
+
+    /// Length of the highway ring in metres.
+    #[must_use]
+    pub fn length_m(&self) -> f64 {
+        self.config.length_m
+    }
+
+    /// Whether a lane index belongs to the eastbound (forward) carriageway.
+    #[must_use]
+    pub fn lane_is_eastbound(&self, lane: usize) -> bool {
+        lane < self.config.lanes_per_direction
+    }
+
+    fn lane_y(&self, lane: usize) -> f64 {
+        let w = self.config.lane_width_m;
+        if self.lane_is_eastbound(lane) {
+            -((lane as f64 + 0.5) * w)
+        } else {
+            ((lane - self.config.lanes_per_direction) as f64 + 0.5) * w + w
+        }
+    }
+
+    fn heading_of_lane(&self, lane: usize) -> Heading {
+        if self.lane_is_eastbound(lane) {
+            Heading::EAST
+        } else {
+            Heading::WEST
+        }
+    }
+
+    /// Gap in metres from `behind` to `ahead` travelling around the ring.
+    fn ring_gap(&self, behind: f64, ahead: f64) -> f64 {
+        let l = self.config.length_m;
+        let mut gap = ahead - behind;
+        if gap < 0.0 {
+            gap += l;
+        }
+        gap
+    }
+
+    fn leader_of(&self, idx: usize, lane: usize) -> Option<LeaderInfo> {
+        let me = &self.vehicles[idx];
+        let mut best: Option<(f64, usize)> = None;
+        for (j, other) in self.vehicles.iter().enumerate() {
+            if j == idx || other.lane != lane {
+                continue;
+            }
+            let gap = self.ring_gap(me.s, other.s);
+            if gap <= 0.0 {
+                continue;
+            }
+            match best {
+                Some((g, _)) if g <= gap => {}
+                _ => best = Some((gap, j)),
+            }
+        }
+        best.map(|(gap, j)| LeaderInfo {
+            gap: (gap - self.vehicles[j].idm.vehicle_length).max(0.01),
+            approach_rate: me.speed - self.vehicles[j].speed,
+        })
+    }
+
+    fn try_lane_change(&mut self, idx: usize, rng: &mut SimRng) {
+        let me = &self.vehicles[idx];
+        let current_lane = me.lane;
+        let blocked = match self.leader_of(idx, current_lane) {
+            Some(l) => l.gap < 20.0 && me.speed < me.desired_speed * 0.8,
+            None => false,
+        };
+        if !blocked || !rng.chance(0.3) {
+            return;
+        }
+        // Candidate lanes: adjacent lanes on the same carriageway.
+        let eastbound = self.lane_is_eastbound(current_lane);
+        let candidates: Vec<usize> = [current_lane.wrapping_sub(1), current_lane + 1]
+            .into_iter()
+            .filter(|&l| l < self.lane_count && self.lane_is_eastbound(l) == eastbound)
+            .collect();
+        let mut best: Option<(usize, f64)> = None;
+        for &cand in &candidates {
+            let gap = self
+                .leader_of(idx, cand)
+                .map_or(f64::INFINITY, |l| l.gap);
+            if gap > 30.0 {
+                match best {
+                    Some((_, g)) if g >= gap => {}
+                    _ => best = Some((cand, gap)),
+                }
+            }
+        }
+        if let Some((lane, _)) = best {
+            self.vehicles[idx].lane = lane;
+        }
+    }
+
+    fn refresh_states(&mut self) {
+        self.states = self
+            .vehicles
+            .iter()
+            .map(|v| {
+                let heading = self.heading_of_lane(v.lane);
+                VehicleState {
+                    id: v.id,
+                    kind: v.kind,
+                    position: Vec2::new(v.s, self.lane_y(v.lane)),
+                    velocity: heading.unit() * v.speed,
+                    acceleration: v.acceleration,
+                    heading,
+                    lane: v.lane,
+                    desired_speed: v.desired_speed,
+                }
+            })
+            .collect();
+    }
+
+    /// Mean speed over all vehicles, m/s.
+    #[must_use]
+    pub fn mean_speed(&self) -> f64 {
+        if self.vehicles.is_empty() {
+            return 0.0;
+        }
+        self.vehicles.iter().map(|v| v.speed).sum::<f64>() / self.vehicles.len() as f64
+    }
+}
+
+impl MobilityModel for HighwayModel {
+    fn step(&mut self, dt: SimDuration, rng: &mut SimRng) {
+        let dt = dt.as_secs();
+        if dt <= 0.0 {
+            return;
+        }
+        if self.config.lane_change_enabled {
+            for idx in 0..self.vehicles.len() {
+                self.try_lane_change(idx, rng);
+            }
+        }
+        // Compute accelerations from the current snapshot, then integrate.
+        let accels: Vec<f64> = (0..self.vehicles.len())
+            .map(|idx| {
+                let v = &self.vehicles[idx];
+                let leader = self.leader_of(idx, v.lane);
+                v.idm.acceleration(v.speed, v.desired_speed, leader)
+            })
+            .collect();
+        let length = self.config.length_m;
+        for (v, a) in self.vehicles.iter_mut().zip(accels) {
+            v.acceleration = a;
+            v.speed = (v.speed + a * dt).clamp(0.0, self.config.speed_limit_mps);
+            v.s += v.speed * dt;
+            while v.s >= length {
+                v.s -= length;
+            }
+        }
+        self.refresh_states();
+    }
+
+    fn states(&self) -> &[VehicleState] {
+        &self.states
+    }
+
+    fn state(&self, id: NodeId) -> Option<&VehicleState> {
+        self.states.iter().find(|s| s.id == id)
+    }
+
+    fn bounds(&self) -> RegionBounds {
+        let half_width =
+            self.config.lane_width_m * (self.config.lanes_per_direction as f64 + 1.0);
+        RegionBounds::new(
+            Position::new(0.0, -half_width),
+            Position::new(self.config.length_m, half_width),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(vehicles: usize, seed: u64) -> HighwayModel {
+        let mut rng = SimRng::new(seed);
+        HighwayBuilder::new()
+            .length_m(2_000.0)
+            .lanes_per_direction(2)
+            .vehicles(vehicles)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn builder_creates_requested_vehicles() {
+        let hw = build(30, 1);
+        assert_eq!(hw.states().len(), 30);
+        assert_eq!(hw.len(), 30);
+        assert!(!hw.is_empty());
+        for s in hw.states() {
+            assert!(s.position.x >= 0.0 && s.position.x < 2_000.0);
+            assert!(s.desired_speed <= 36.0);
+            assert!(s.speed() > 0.0);
+        }
+    }
+
+    #[test]
+    fn vehicles_move_and_wrap() {
+        let mut hw = build(20, 2);
+        let before: Vec<f64> = hw.states().iter().map(|s| s.position.x).collect();
+        let mut rng = SimRng::new(99);
+        for _ in 0..100 {
+            hw.step(SimDuration::from_secs(1.0), &mut rng);
+        }
+        let after: Vec<f64> = hw.states().iter().map(|s| s.position.x).collect();
+        assert_ne!(before, after);
+        for x in &after {
+            assert!(
+                (0.0..2_000.0).contains(x),
+                "positions must stay on the ring, got {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn eastbound_and_westbound_headings() {
+        let mut rng = SimRng::new(3);
+        let hw = HighwayBuilder::new()
+            .vehicles(60)
+            .bidirectional(true)
+            .build(&mut rng);
+        let east = hw.states().iter().filter(|s| s.velocity.x > 0.0).count();
+        let west = hw.states().iter().filter(|s| s.velocity.x < 0.0).count();
+        assert_eq!(east + west, 60);
+        assert!(east > 0 && west > 0, "both carriageways should be populated");
+    }
+
+    #[test]
+    fn unidirectional_has_single_heading() {
+        let mut rng = SimRng::new(4);
+        let hw = HighwayBuilder::new()
+            .vehicles(40)
+            .bidirectional(false)
+            .build(&mut rng);
+        assert!(hw.states().iter().all(|s| s.velocity.x > 0.0));
+    }
+
+    #[test]
+    fn dense_traffic_is_slower_than_sparse() {
+        let mut rng = SimRng::new(5);
+        let mut sparse = HighwayBuilder::new()
+            .length_m(2_000.0)
+            .lanes_per_direction(1)
+            .bidirectional(false)
+            .vehicles(10)
+            .lane_changes(false)
+            .build(&mut rng);
+        let mut dense = HighwayBuilder::new()
+            .length_m(2_000.0)
+            .lanes_per_direction(1)
+            .bidirectional(false)
+            .vehicles(150)
+            .lane_changes(false)
+            .build(&mut rng);
+        let mut r1 = SimRng::new(6);
+        let mut r2 = SimRng::new(6);
+        for _ in 0..300 {
+            sparse.step(SimDuration::from_secs(0.5), &mut r1);
+            dense.step(SimDuration::from_secs(0.5), &mut r2);
+        }
+        assert!(
+            dense.mean_speed() < sparse.mean_speed() * 0.8,
+            "congestion should reduce mean speed: dense {} vs sparse {}",
+            dense.mean_speed(),
+            sparse.mean_speed()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let mut a = build(25, 7);
+        let mut b = build(25, 7);
+        let mut ra = SimRng::new(8);
+        let mut rb = SimRng::new(8);
+        for _ in 0..50 {
+            a.step(SimDuration::from_secs(0.5), &mut ra);
+            b.step(SimDuration::from_secs(0.5), &mut rb);
+        }
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn buses_are_created() {
+        let mut rng = SimRng::new(9);
+        let hw = HighwayBuilder::new().vehicles(10).buses(3).build(&mut rng);
+        let buses = hw
+            .states()
+            .iter()
+            .filter(|s| s.kind == VehicleKind::Bus)
+            .count();
+        assert_eq!(buses, 3);
+    }
+
+    #[test]
+    fn state_lookup_by_id() {
+        let hw = build(10, 10);
+        assert!(hw.state(NodeId(3)).is_some());
+        assert!(hw.state(NodeId(999)).is_none());
+        assert!(hw.position(NodeId(3)).is_some());
+    }
+
+    #[test]
+    fn first_node_id_offsets_ids() {
+        let mut rng = SimRng::new(11);
+        let hw = HighwayBuilder::new()
+            .vehicles(5)
+            .first_node_id(100)
+            .build(&mut rng);
+        let ids: Vec<u32> = hw.states().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn bounds_contain_all_vehicles() {
+        let hw = build(40, 12);
+        let b = hw.bounds();
+        for s in hw.states() {
+            assert!(b.contains(s.position), "vehicle outside bounds");
+        }
+    }
+
+    #[test]
+    fn density_helper() {
+        let b = HighwayBuilder::new()
+            .length_m(1_000.0)
+            .vehicles(40)
+            .bidirectional(true);
+        assert!((b.density_per_km() - 20.0).abs() < 1e-9);
+    }
+}

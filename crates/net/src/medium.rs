@@ -1,0 +1,417 @@
+//! The shared wireless medium.
+//!
+//! [`Medium::transmit`] is the single entry point through which every frame in
+//! the simulation travels. Given the sender, its position, the packet and the
+//! current positions of all nodes, it decides who receives a copy and when,
+//! applying the propagation model, the contention/collision model and — for
+//! unicast frames — the intended-receiver filter.
+
+use crate::channel::PropagationModel;
+use crate::mac::MacParams;
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vanet_mobility::geometry::distance;
+use vanet_mobility::Position;
+use vanet_sim::{Counter, NodeId, SimRng, SimTime};
+
+/// Configuration of the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediumConfig {
+    /// MAC parameters.
+    pub mac: MacParams,
+    /// Whether unicast frames are also overheard by other nodes in range
+    /// (promiscuous mode, used by implicit-acknowledgement schemes such as
+    /// Biswas et al.).
+    pub promiscuous: bool,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            mac: MacParams::default(),
+            promiscuous: true,
+        }
+    }
+}
+
+/// One frame delivery produced by [`Medium::transmit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// The node receiving the frame.
+    pub receiver: NodeId,
+    /// When the frame finishes arriving at the receiver.
+    pub arrival: SimTime,
+    /// Whether this receiver was the intended link-layer destination
+    /// (`false` for frames merely overheard in promiscuous mode).
+    pub intended: bool,
+    /// Distance between sender and receiver at transmission time, metres.
+    pub distance_m: f64,
+}
+
+/// Aggregate statistics collected by the medium.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MediumStats {
+    /// Frames handed to the medium for transmission.
+    pub transmissions: Counter,
+    /// Total frame copies delivered to receivers.
+    pub deliveries: Counter,
+    /// Frame copies lost to propagation (out of range / fading).
+    pub propagation_losses: Counter,
+    /// Frame copies lost to collisions.
+    pub collision_losses: Counter,
+    /// Total bytes handed to the medium (control + data).
+    pub bytes_transmitted: Counter,
+}
+
+impl MediumStats {
+    /// Fraction of candidate receptions lost to collisions.
+    #[must_use]
+    pub fn collision_rate(&self) -> f64 {
+        let attempts = self.deliveries.value()
+            + self.collision_losses.value()
+            + self.propagation_losses.value();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.collision_losses.value() as f64 / attempts as f64
+        }
+    }
+}
+
+/// The shared broadcast medium connecting all nodes.
+#[derive(Debug)]
+pub struct Medium {
+    config: MediumConfig,
+    propagation: Box<dyn PropagationModel + Send>,
+    /// Recent transmissions: (time, position). Used to estimate channel load.
+    recent: VecDeque<(SimTime, Position)>,
+    stats: MediumStats,
+}
+
+impl Medium {
+    /// Creates a medium with the given configuration and propagation model.
+    #[must_use]
+    pub fn new(config: MediumConfig, propagation: Box<dyn PropagationModel + Send>) -> Self {
+        Medium {
+            config,
+            propagation,
+            recent: VecDeque::new(),
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// The propagation model in use.
+    #[must_use]
+    pub fn propagation(&self) -> &(dyn PropagationModel + Send) {
+        self.propagation.as_ref()
+    }
+
+    /// The medium configuration.
+    #[must_use]
+    pub fn config(&self) -> &MediumConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &MediumStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MediumStats::default();
+    }
+
+    /// Number of transmissions in the contention window around `now` within
+    /// interference range (2× nominal range) of `position`.
+    #[must_use]
+    pub fn channel_load(&self, now: SimTime, position: Position) -> usize {
+        let window = self.config.mac.contention_window_s;
+        let interference_range = self.propagation.nominal_range() * 2.0;
+        self.recent
+            .iter()
+            .filter(|(t, p)| {
+                now.saturating_since(*t).as_secs() <= window
+                    && distance(*p, position) <= interference_range
+            })
+            .count()
+    }
+
+    fn prune_recent(&mut self, now: SimTime) {
+        let window = self.config.mac.contention_window_s * 4.0;
+        while let Some((t, _)) = self.recent.front() {
+            if now.saturating_since(*t).as_secs() > window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Transmits `packet` from `sender` at `sender_pos` to every node in
+    /// `nodes` (id, position) pairs, excluding the sender itself. Returns the
+    /// successful deliveries; losses are recorded in [`MediumStats`].
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        sender_pos: Position,
+        packet: &Packet,
+        nodes: &[(NodeId, Position)],
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        self.prune_recent(now);
+        let contenders = self.channel_load(now, sender_pos);
+        self.recent.push_back((now, sender_pos));
+        self.stats.transmissions.incr();
+        self.stats.bytes_transmitted.add(packet.size_bytes() as u64);
+
+        let backoff = self.config.mac.sample_backoff(contenders, rng);
+        let tx_delay = self.config.mac.transmission_delay(packet.size_bytes());
+        let processing =
+            vanet_sim::SimDuration::from_secs(self.config.mac.processing_delay_s);
+
+        let mut deliveries = Vec::new();
+        for &(node, pos) in nodes {
+            if node == sender {
+                continue;
+            }
+            let d = distance(sender_pos, pos);
+            if d > self.propagation.max_range() {
+                continue;
+            }
+            // Unicast frames are only *delivered* to the intended next hop
+            // unless promiscuous overhearing is enabled.
+            let intended = match packet.next_hop {
+                None => true,
+                Some(h) => h == node,
+            };
+            if !intended && !self.config.promiscuous {
+                continue;
+            }
+            if !self.propagation.sample_reception(d, rng) {
+                self.stats.propagation_losses.incr();
+                continue;
+            }
+            let interferers = self.channel_load(now, pos).saturating_sub(1);
+            if !self.config.mac.sample_collision_survival(interferers, rng) {
+                self.stats.collision_losses.incr();
+                continue;
+            }
+            let arrival =
+                now + processing + backoff + tx_delay + self.config.mac.propagation_delay(d);
+            self.stats.deliveries.incr();
+            deliveries.push(Delivery {
+                receiver: node,
+                arrival,
+                intended,
+                distance_m: d,
+            });
+        }
+        deliveries
+    }
+
+    /// Whether two positions are within nominal communication range: the
+    /// connectivity predicate used by protocols when they reason about links.
+    #[must_use]
+    pub fn in_range(&self, a: Position, b: Position) -> bool {
+        distance(a, b) <= self.propagation.nominal_range()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{LogNormalShadowing, UnitDisk};
+    use crate::packet::{Packet, PacketKind};
+    use vanet_mobility::Vec2;
+
+    fn nodes_on_a_line(count: usize, spacing: f64) -> Vec<(NodeId, Position)> {
+        (0..count)
+            .map(|i| (NodeId(i as u32), Vec2::new(i as f64 * spacing, 0.0)))
+            .collect()
+    }
+
+    fn medium_unit_disk(range: f64) -> Medium {
+        Medium::new(
+            MediumConfig {
+                mac: MacParams::ideal(),
+                promiscuous: true,
+            },
+            Box::new(UnitDisk::new(range)),
+        )
+    }
+
+    #[test]
+    fn broadcast_reaches_only_nodes_in_range() {
+        let mut m = medium_unit_disk(250.0);
+        let nodes = nodes_on_a_line(5, 200.0); // 0,200,400,600,800
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        let mut rng = SimRng::new(1);
+        let deliveries = m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        let receivers: Vec<u32> = deliveries.iter().map(|d| d.receiver.0).collect();
+        assert_eq!(receivers, vec![1], "only the 200 m neighbour is in range");
+        assert_eq!(m.stats().transmissions.value(), 1);
+        assert_eq!(m.stats().deliveries.value(), 1);
+    }
+
+    #[test]
+    fn sender_never_receives_its_own_frame() {
+        let mut m = medium_unit_disk(1_000.0);
+        let nodes = nodes_on_a_line(3, 100.0);
+        let pkt = Packet::broadcast(NodeId(1), PacketKind::Hello, 0);
+        let mut rng = SimRng::new(2);
+        let deliveries = m.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            Vec2::new(100.0, 0.0),
+            &pkt,
+            &nodes,
+            &mut rng,
+        );
+        assert!(deliveries.iter().all(|d| d.receiver != NodeId(1)));
+        assert_eq!(deliveries.len(), 2);
+    }
+
+    #[test]
+    fn unicast_marks_intended_receiver() {
+        let mut m = medium_unit_disk(500.0);
+        let nodes = nodes_on_a_line(3, 100.0);
+        let mut pkt = Packet::data(NodeId(0), NodeId(2), 100);
+        pkt.next_hop = Some(NodeId(1));
+        let mut rng = SimRng::new(3);
+        let deliveries = m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        let intended: Vec<u32> = deliveries
+            .iter()
+            .filter(|d| d.intended)
+            .map(|d| d.receiver.0)
+            .collect();
+        assert_eq!(intended, vec![1]);
+        // Promiscuous mode: node 2 overhears.
+        assert!(deliveries.iter().any(|d| d.receiver == NodeId(2) && !d.intended));
+    }
+
+    #[test]
+    fn non_promiscuous_unicast_reaches_only_next_hop() {
+        let mut m = Medium::new(
+            MediumConfig {
+                mac: MacParams::ideal(),
+                promiscuous: false,
+            },
+            Box::new(UnitDisk::new(500.0)),
+        );
+        let nodes = nodes_on_a_line(3, 100.0);
+        let mut pkt = Packet::data(NodeId(0), NodeId(2), 100);
+        pkt.next_hop = Some(NodeId(1));
+        let mut rng = SimRng::new(4);
+        let deliveries = m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].receiver, NodeId(1));
+    }
+
+    #[test]
+    fn arrival_time_is_after_transmission_time() {
+        let mut m = medium_unit_disk(500.0);
+        let nodes = nodes_on_a_line(2, 100.0);
+        let pkt = Packet::data(NodeId(0), NodeId(1), 1_000);
+        let mut rng = SimRng::new(5);
+        let now = SimTime::from_secs(10.0);
+        let deliveries = m.transmit(now, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        assert!(deliveries[0].arrival > now);
+        assert!((deliveries[0].arrival - now).as_secs() < 0.01);
+    }
+
+    #[test]
+    fn channel_load_counts_recent_nearby_transmissions() {
+        let mut m = Medium::new(MediumConfig::default(), Box::new(UnitDisk::new(250.0)));
+        let nodes = nodes_on_a_line(2, 100.0);
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        let mut rng = SimRng::new(6);
+        for _ in 0..5 {
+            m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        }
+        assert_eq!(m.channel_load(SimTime::ZERO, Vec2::ZERO), 5);
+        // Far away, the same transmissions do not count.
+        assert_eq!(m.channel_load(SimTime::ZERO, Vec2::new(10_000.0, 0.0)), 0);
+        // Long after, they have been pruned from the window.
+        assert_eq!(
+            m.channel_load(SimTime::from_secs(10.0), Vec2::ZERO),
+            0
+        );
+    }
+
+    #[test]
+    fn collisions_increase_with_simultaneous_transmissions() {
+        let mut m = Medium::new(
+            MediumConfig {
+                mac: MacParams {
+                    collision_probability: 0.2,
+                    ..MacParams::default()
+                },
+                promiscuous: true,
+            },
+            Box::new(UnitDisk::new(500.0)),
+        );
+        let nodes = nodes_on_a_line(30, 20.0);
+        let mut rng = SimRng::new(7);
+        // Every node broadcasts at the same instant: heavy contention.
+        for i in 0..30u32 {
+            let pkt = Packet::broadcast(NodeId(i), PacketKind::Hello, 64);
+            let pos = Vec2::new(i as f64 * 20.0, 0.0);
+            m.transmit(SimTime::ZERO, NodeId(i), pos, &pkt, &nodes, &mut rng);
+        }
+        assert!(
+            m.stats().collision_losses.value() > 0,
+            "synchronous broadcasts should collide"
+        );
+        assert!(m.stats().collision_rate() > 0.0);
+    }
+
+    #[test]
+    fn shadowing_medium_delivers_probabilistically() {
+        let mut m = Medium::new(
+            MediumConfig {
+                mac: MacParams::ideal(),
+                promiscuous: true,
+            },
+            Box::new(LogNormalShadowing::new(250.0, 2.7, 4.0)),
+        );
+        let nodes = vec![(NodeId(1), Vec2::new(250.0, 0.0))];
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        let mut rng = SimRng::new(8);
+        let mut received = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            received += m
+                .transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng)
+                .len();
+        }
+        let freq = received as f64 / n as f64;
+        assert!(
+            (freq - 0.5).abs() < 0.05,
+            "delivery frequency at nominal range should be ~0.5, got {freq}"
+        );
+        assert!(m.stats().propagation_losses.value() > 0);
+    }
+
+    #[test]
+    fn in_range_uses_nominal_range() {
+        let m = medium_unit_disk(250.0);
+        assert!(m.in_range(Vec2::ZERO, Vec2::new(200.0, 0.0)));
+        assert!(!m.in_range(Vec2::ZERO, Vec2::new(300.0, 0.0)));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = medium_unit_disk(250.0);
+        let nodes = nodes_on_a_line(2, 100.0);
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        let mut rng = SimRng::new(9);
+        m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        assert!(m.stats().transmissions.value() > 0);
+        m.reset_stats();
+        assert_eq!(m.stats().transmissions.value(), 0);
+    }
+}

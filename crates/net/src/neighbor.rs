@@ -1,0 +1,279 @@
+//! Neighbour discovery: HELLO beaconing and the neighbour table.
+//!
+//! Mobility-based and probability-based protocols need "neighbouring
+//! awareness" — each vehicle periodically broadcasts its position and velocity
+//! so its neighbours can predict link lifetimes. This is exactly the extra
+//! communication overhead Table I charges to those categories; the beacon
+//! packets are counted by the metrics layer like any other control packet.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vanet_mobility::geometry::distance;
+use vanet_mobility::{Position, Velocity};
+use vanet_sim::{NodeId, SimDuration, SimTime};
+
+/// Beaconing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeaconConfig {
+    /// Interval between HELLO beacons.
+    pub interval: SimDuration,
+    /// How long a neighbour entry stays valid without a fresh beacon.
+    pub lifetime: SimDuration,
+    /// Random jitter applied to each beacon (fraction of the interval) so
+    /// that beacons from different vehicles do not synchronise.
+    pub jitter_fraction: f64,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        BeaconConfig {
+            interval: SimDuration::from_secs(1.0),
+            lifetime: SimDuration::from_secs(3.0),
+            jitter_fraction: 0.1,
+        }
+    }
+}
+
+/// What a node knows about one of its neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborInfo {
+    /// The neighbour's id.
+    pub id: NodeId,
+    /// Last advertised position.
+    pub position: Position,
+    /// Last advertised velocity.
+    pub velocity: Velocity,
+    /// When the last beacon (or overheard packet) from it arrived.
+    pub last_heard: SimTime,
+    /// When the entry expires if no further beacon arrives.
+    pub expires_at: SimTime,
+}
+
+impl NeighborInfo {
+    /// Predicted position of the neighbour at `time`, extrapolating its last
+    /// advertised velocity (dead reckoning).
+    #[must_use]
+    pub fn predicted_position(&self, time: SimTime) -> Position {
+        let dt = time.saturating_since(self.last_heard).as_secs();
+        self.position + self.velocity * dt
+    }
+}
+
+/// The neighbour table maintained by every node.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NeighborTable {
+    entries: HashMap<NodeId, NeighborInfo>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or refreshes a neighbour from a received beacon.
+    pub fn observe(
+        &mut self,
+        id: NodeId,
+        position: Position,
+        velocity: Velocity,
+        now: SimTime,
+        lifetime: SimDuration,
+    ) {
+        self.entries.insert(
+            id,
+            NeighborInfo {
+                id,
+                position,
+                velocity,
+                last_heard: now,
+                expires_at: now + lifetime,
+            },
+        );
+    }
+
+    /// Removes expired entries and returns the ids that were dropped (each a
+    /// detected link break).
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<NodeId> {
+        let expired: Vec<NodeId> = self
+            .entries
+            .values()
+            .filter(|e| e.expires_at < now)
+            .map(|e| e.id)
+            .collect();
+        for id in &expired {
+            self.entries.remove(id);
+        }
+        expired
+    }
+
+    /// Removes a specific neighbour (e.g. after a failed unicast).
+    pub fn remove(&mut self, id: NodeId) -> Option<NeighborInfo> {
+        self.entries.remove(&id)
+    }
+
+    /// Looks up a neighbour.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> Option<&NeighborInfo> {
+        self.entries.get(&id)
+    }
+
+    /// Whether `id` is currently a (non-expired, as of last purge) neighbour.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// All current neighbours in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &NeighborInfo> {
+        self.entries.values()
+    }
+
+    /// Number of neighbours.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The neighbour geographically closest to `target`, if any — the greedy
+    /// forwarding primitive.
+    #[must_use]
+    pub fn closest_to(&self, target: Position) -> Option<&NeighborInfo> {
+        self.entries.values().min_by(|a, b| {
+            distance(a.position, target)
+                .partial_cmp(&distance(b.position, target))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// The neighbour closest to `target` that is strictly closer to it than
+    /// `own_distance` (greedy forwarding with the local-maximum check).
+    #[must_use]
+    pub fn greedy_next_hop(&self, target: Position, own_distance: f64) -> Option<&NeighborInfo> {
+        self.closest_to(target)
+            .filter(|n| distance(n.position, target) < own_distance)
+    }
+
+    /// Neighbours sorted by a caller-provided score, best (highest) first.
+    #[must_use]
+    pub fn ranked_by<F>(&self, mut score: F) -> Vec<&NeighborInfo>
+    where
+        F: FnMut(&NeighborInfo) -> f64,
+    {
+        let mut v: Vec<&NeighborInfo> = self.entries.values().collect();
+        v.sort_by(|a, b| {
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanet_mobility::Vec2;
+
+    fn table_with_three() -> NeighborTable {
+        let mut t = NeighborTable::new();
+        let life = SimDuration::from_secs(3.0);
+        t.observe(NodeId(1), Vec2::new(100.0, 0.0), Vec2::new(10.0, 0.0), SimTime::ZERO, life);
+        t.observe(NodeId(2), Vec2::new(200.0, 0.0), Vec2::new(-10.0, 0.0), SimTime::ZERO, life);
+        t.observe(NodeId(3), Vec2::new(50.0, 50.0), Vec2::ZERO, SimTime::ZERO, life);
+        t
+    }
+
+    #[test]
+    fn observe_and_lookup() {
+        let t = table_with_three();
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(NodeId(1)));
+        assert!(!t.contains(NodeId(9)));
+        assert_eq!(t.get(NodeId(2)).unwrap().position, Vec2::new(200.0, 0.0));
+    }
+
+    #[test]
+    fn re_observation_refreshes_entry() {
+        let mut t = table_with_three();
+        t.observe(
+            NodeId(1),
+            Vec2::new(150.0, 0.0),
+            Vec2::new(12.0, 0.0),
+            SimTime::from_secs(1.0),
+            SimDuration::from_secs(3.0),
+        );
+        assert_eq!(t.len(), 3);
+        let n = t.get(NodeId(1)).unwrap();
+        assert_eq!(n.position, Vec2::new(150.0, 0.0));
+        assert_eq!(n.last_heard, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn purge_removes_stale_entries() {
+        let mut t = table_with_three();
+        t.observe(
+            NodeId(1),
+            Vec2::new(100.0, 0.0),
+            Vec2::ZERO,
+            SimTime::from_secs(5.0),
+            SimDuration::from_secs(3.0),
+        );
+        let dropped = t.purge_expired(SimTime::from_secs(6.0));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(NodeId(1)));
+        assert_eq!(dropped.len(), 2);
+    }
+
+    #[test]
+    fn closest_and_greedy_next_hop() {
+        let t = table_with_three();
+        let target = Vec2::new(300.0, 0.0);
+        assert_eq!(t.closest_to(target).unwrap().id, NodeId(2));
+        // Own distance 120 m: node 2 at 100 m qualifies, others do not.
+        assert_eq!(t.greedy_next_hop(target, 120.0).unwrap().id, NodeId(2));
+        // Own distance 50 m: nobody is closer — local maximum.
+        assert!(t.greedy_next_hop(target, 50.0).is_none());
+        let empty = NeighborTable::new();
+        assert!(empty.closest_to(target).is_none());
+    }
+
+    #[test]
+    fn dead_reckoning_prediction() {
+        let t = table_with_three();
+        let n = t.get(NodeId(1)).unwrap();
+        let predicted = n.predicted_position(SimTime::from_secs(2.0));
+        assert_eq!(predicted, Vec2::new(120.0, 0.0));
+    }
+
+    #[test]
+    fn ranking_by_score() {
+        let t = table_with_three();
+        // Rank by x coordinate: highest first.
+        let ranked = t.ranked_by(|n| n.position.x);
+        let ids: Vec<u32> = ranked.iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut t = table_with_three();
+        assert!(t.remove(NodeId(3)).is_some());
+        assert!(t.remove(NodeId(3)).is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn beacon_config_defaults_are_sane() {
+        let c = BeaconConfig::default();
+        assert!(c.lifetime.as_secs() > c.interval.as_secs());
+        assert!(c.jitter_fraction < 1.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! DSDV: Destination-Sequenced Distance-Vector routing (Perkins & Bhagwat),
+//! the proactive representative of the connectivity-based family.
+//!
+//! Every node periodically broadcasts its full routing table tagged with
+//! destination sequence numbers; receivers merge entries, preferring fresher
+//! sequence numbers and, for equal freshness, fewer hops. Data is forwarded
+//! hop by hop along the resulting distance-vector routes.
+
+use crate::common::{RouteEntry, RoutingTable};
+use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use vanet_net::{Packet, PacketKind};
+use vanet_sim::{NodeId, SeqNo, SimDuration, SimTime};
+
+/// Configuration of the DSDV protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsdvConfig {
+    /// Interval between periodic full-table broadcasts.
+    pub update_interval: SimDuration,
+    /// Lifetime of a learned route without refresh.
+    pub route_lifetime: SimDuration,
+}
+
+impl Default for DsdvConfig {
+    fn default() -> Self {
+        DsdvConfig {
+            update_interval: SimDuration::from_secs(2.0),
+            route_lifetime: SimDuration::from_secs(6.0),
+        }
+    }
+}
+
+/// The DSDV protocol.
+#[derive(Debug)]
+pub struct Dsdv {
+    config: DsdvConfig,
+    table: RoutingTable,
+    my_seq: SeqNo,
+    last_update: Option<SimTime>,
+}
+
+impl Dsdv {
+    /// Creates a DSDV instance with default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(DsdvConfig::default())
+    }
+
+    /// Creates a DSDV instance with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: DsdvConfig) -> Self {
+        Dsdv {
+            config,
+            table: RoutingTable::new(),
+            my_seq: SeqNo(0),
+            last_update: None,
+        }
+    }
+
+    /// Read access to the routing table.
+    #[must_use]
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    fn build_update(&mut self, ctx: &mut ProtocolContext<'_>) -> Packet {
+        // Advertise ourselves with an even, monotonically increasing sequence
+        // number plus every route we currently hold.
+        self.my_seq = SeqNo(self.my_seq.0 + 2);
+        let mut entries = vec![(ctx.node, 0u32, self.my_seq)];
+        for e in self.table.iter() {
+            if e.expires_at >= ctx.now {
+                entries.push((e.destination, e.hops, e.seq));
+            }
+        }
+        ctx.new_control_packet(PacketKind::TopologyUpdate { entries })
+    }
+
+    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        match self.table.route(dest, ctx.now) {
+            Some(route) => {
+                let next = route.next_hop;
+                vec![Action::Transmit(
+                    ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
+                )]
+            }
+            None => vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }],
+        }
+    }
+}
+
+impl Default for Dsdv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for Dsdv {
+    fn name(&self) -> &'static str {
+        "DSDV"
+    }
+
+    fn category(&self) -> Category {
+        Category::Connectivity
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.forward_data(ctx, packet)
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        overheard: bool,
+    ) -> Vec<Action> {
+        match &packet.kind {
+            PacketKind::Data => {
+                if packet.destination == Some(ctx.node) {
+                    return vec![Action::Deliver(packet)];
+                }
+                if overheard {
+                    return Vec::new();
+                }
+                self.forward_data(ctx, packet)
+            }
+            PacketKind::TopologyUpdate { entries } => {
+                let from = packet.prev_hop;
+                for &(dest, hops, seq) in entries {
+                    if dest == ctx.node {
+                        continue;
+                    }
+                    self.table.upsert(RouteEntry {
+                        destination: dest,
+                        next_hop: from,
+                        hops: hops + 1,
+                        seq,
+                        metric: -f64::from(hops + 1),
+                        expires_at: ctx.now + self.config.route_lifetime,
+                    });
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        let due = match self.last_update {
+            None => true,
+            Some(t) => ctx.now.saturating_since(t) >= self.config.update_interval,
+        };
+        if !due {
+            return Vec::new();
+        }
+        self.last_update = Some(ctx.now);
+        let update = self.build_update(ctx);
+        vec![Action::Transmit(update)]
+    }
+
+    fn on_neighbor_lost(
+        &mut self,
+        _ctx: &mut ProtocolContext<'_>,
+        neighbor: NodeId,
+    ) -> Vec<Action> {
+        self.table.invalidate_next_hop(neighbor);
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NoLocationService;
+    use vanet_mobility::{Vec2, VehicleKind, VehicleState};
+    use vanet_net::NeighborTable;
+    use vanet_sim::{PacketIdAllocator, SimRng};
+
+    struct Harness {
+        state: VehicleState,
+        neighbors: NeighborTable,
+        rng: SimRng,
+        ids: PacketIdAllocator,
+    }
+
+    impl Harness {
+        fn new(id: u32) -> Self {
+            Harness {
+                state: VehicleState::stationary(NodeId(id), VehicleKind::Car, Vec2::ZERO),
+                neighbors: NeighborTable::new(),
+                rng: SimRng::new(1),
+                ids: PacketIdAllocator::new(),
+            }
+        }
+
+        fn ctx(&mut self, now: f64) -> ProtocolContext<'_> {
+            ProtocolContext {
+                node: self.state.id,
+                now: SimTime::from_secs(now),
+                state: &self.state,
+                neighbors: &self.neighbors,
+                range_m: 250.0,
+                rsu_ids: &[],
+                bus_ids: &[],
+                location: &NoLocationService,
+                rng: &mut self.rng,
+                packet_ids: &mut self.ids,
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_updates_are_rate_limited() {
+        let mut dsdv = Dsdv::new();
+        let mut h = Harness::new(1);
+        let first = dsdv.on_tick(&mut h.ctx(0.0));
+        assert_eq!(first.len(), 1);
+        assert!(matches!(&first[0], Action::Transmit(p) if matches!(p.kind, PacketKind::TopologyUpdate { .. })));
+        let too_soon = dsdv.on_tick(&mut h.ctx(1.0));
+        assert!(too_soon.is_empty());
+        let later = dsdv.on_tick(&mut h.ctx(3.0));
+        assert_eq!(later.len(), 1);
+    }
+
+    #[test]
+    fn updates_install_routes_via_sender() {
+        let mut dsdv = Dsdv::new();
+        let mut h = Harness::new(1);
+        let mut update = Packet::broadcast(
+            NodeId(2),
+            PacketKind::TopologyUpdate {
+                entries: vec![(NodeId(2), 0, SeqNo(2)), (NodeId(5), 2, SeqNo(4))],
+            },
+            0,
+        );
+        update.prev_hop = NodeId(2);
+        dsdv.on_packet(&mut h.ctx(1.0), update, false);
+        let to_2 = dsdv.routing_table().route(NodeId(2), SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(to_2.next_hop, NodeId(2));
+        assert_eq!(to_2.hops, 1);
+        let to_5 = dsdv.routing_table().route(NodeId(5), SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(to_5.next_hop, NodeId(2));
+        assert_eq!(to_5.hops, 3);
+    }
+
+    #[test]
+    fn fresher_sequence_number_wins() {
+        let mut dsdv = Dsdv::new();
+        let mut h = Harness::new(1);
+        let mut via_2 = Packet::broadcast(
+            NodeId(2),
+            PacketKind::TopologyUpdate {
+                entries: vec![(NodeId(5), 1, SeqNo(2))],
+            },
+            0,
+        );
+        via_2.prev_hop = NodeId(2);
+        dsdv.on_packet(&mut h.ctx(1.0), via_2, false);
+        // A stale advert through node 3 with an older sequence is ignored even
+        // though it claims fewer hops.
+        let mut via_3 = Packet::broadcast(
+            NodeId(3),
+            PacketKind::TopologyUpdate {
+                entries: vec![(NodeId(5), 0, SeqNo(1))],
+            },
+            0,
+        );
+        via_3.prev_hop = NodeId(3);
+        dsdv.on_packet(&mut h.ctx(1.1), via_3, false);
+        assert_eq!(
+            dsdv.routing_table()
+                .route(NodeId(5), SimTime::from_secs(1.2))
+                .unwrap()
+                .next_hop,
+            NodeId(2)
+        );
+    }
+
+    #[test]
+    fn data_follows_table_or_is_dropped() {
+        let mut dsdv = Dsdv::new();
+        let mut h = Harness::new(1);
+        let no_route = dsdv.originate(&mut h.ctx(1.0), Packet::data(NodeId(1), NodeId(9), 10));
+        assert!(matches!(
+            no_route[0],
+            Action::Drop {
+                reason: DropReason::NoRoute,
+                ..
+            }
+        ));
+        let mut update = Packet::broadcast(
+            NodeId(4),
+            PacketKind::TopologyUpdate {
+                entries: vec![(NodeId(9), 1, SeqNo(2))],
+            },
+            0,
+        );
+        update.prev_hop = NodeId(4);
+        dsdv.on_packet(&mut h.ctx(1.0), update, false);
+        let routed = dsdv.originate(&mut h.ctx(1.5), Packet::data(NodeId(1), NodeId(9), 10));
+        assert!(matches!(&routed[0], Action::Transmit(p) if p.next_hop == Some(NodeId(4))));
+        // Delivery at destination.
+        let deliver = dsdv.on_packet(&mut h.ctx(2.0), Packet::data(NodeId(7), NodeId(1), 10), false);
+        assert!(matches!(deliver[0], Action::Deliver(_)));
+    }
+
+    #[test]
+    fn neighbor_loss_invalidates_routes() {
+        let mut dsdv = Dsdv::new();
+        let mut h = Harness::new(1);
+        let mut update = Packet::broadcast(
+            NodeId(2),
+            PacketKind::TopologyUpdate {
+                entries: vec![(NodeId(5), 1, SeqNo(2))],
+            },
+            0,
+        );
+        update.prev_hop = NodeId(2);
+        dsdv.on_packet(&mut h.ctx(1.0), update, false);
+        dsdv.on_neighbor_lost(&mut h.ctx(2.0), NodeId(2));
+        assert!(dsdv
+            .routing_table()
+            .route(NodeId(5), SimTime::from_secs(2.0))
+            .is_none());
+    }
+
+    #[test]
+    fn identity() {
+        let d = Dsdv::new();
+        assert_eq!(d.name(), "DSDV");
+        assert_eq!(d.category(), Category::Connectivity);
+        assert!(d.beacon_interval().is_none());
+    }
+}

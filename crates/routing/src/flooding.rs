@@ -1,0 +1,388 @@
+//! Connectivity-based routing: pure flooding and Biswas-style flooding with
+//! implicit acknowledgements (Sec. III).
+
+use crate::common::SeenCache;
+use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use std::collections::HashMap;
+use vanet_net::Packet;
+use vanet_sim::{PacketId, SimDuration, SimTime};
+
+/// Pure flooding: every node rebroadcasts every packet it has not seen before
+/// until the destination is reached (or every node holds a copy).
+///
+/// Simple and — in low-density, fast-changing topologies — surprisingly
+/// reliable, but it floods the channel: the broadcast-storm behaviour measured
+/// in the Fig. 2 / Table I experiments.
+#[derive(Debug)]
+pub struct Flooding {
+    seen: SeenCache,
+}
+
+impl Flooding {
+    /// Creates a flooding protocol instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Flooding {
+            seen: SeenCache::new(60.0),
+        }
+    }
+}
+
+impl Default for Flooding {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for Flooding {
+    fn name(&self) -> &'static str {
+        "Flooding"
+    }
+
+    fn category(&self) -> Category {
+        Category::Connectivity
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.seen
+            .check_and_insert(packet.source, packet.id.value(), ctx.now);
+        let mut copy = ctx.stamp(packet);
+        copy.next_hop = None;
+        vec![Action::Transmit(copy)]
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        _overheard: bool,
+    ) -> Vec<Action> {
+        if self
+            .seen
+            .check_and_insert(packet.source, packet.id.value(), ctx.now)
+        {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::Duplicate,
+            }];
+        }
+        let mut actions = Vec::new();
+        if packet.destination == Some(ctx.node) {
+            actions.push(Action::Deliver(packet));
+            return actions;
+        }
+        if !packet.ttl_allows_forwarding() {
+            actions.push(Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            });
+            return actions;
+        }
+        let fwd = ctx.stamp(packet.forwarded_by(ctx.node, None));
+        actions.push(Action::Transmit(fwd));
+        actions
+    }
+
+    fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+/// Biswas-style flooding with implicit acknowledgements: after rebroadcasting
+/// a packet the vehicle listens for the same packet from a vehicle *behind*
+/// it; hearing it counts as an acknowledgement that the flood is progressing.
+/// If no acknowledgement is overheard the packet is rebroadcast periodically,
+/// up to a retry limit.
+#[derive(Debug)]
+pub struct Biswas {
+    seen: SeenCache,
+    /// Packets awaiting implicit acknowledgement: id → (packet, deadline, retries left).
+    awaiting_ack: HashMap<PacketId, (Packet, SimTime, u8)>,
+    retry_interval: SimDuration,
+    max_retries: u8,
+}
+
+impl Biswas {
+    /// Creates a Biswas flooding instance with the default retry policy
+    /// (1 s retry interval, 3 retries).
+    #[must_use]
+    pub fn new() -> Self {
+        Biswas {
+            seen: SeenCache::new(60.0),
+            awaiting_ack: HashMap::new(),
+            retry_interval: SimDuration::from_secs(1.0),
+            max_retries: 3,
+        }
+    }
+
+    /// Number of packets currently awaiting an implicit acknowledgement.
+    #[must_use]
+    pub fn pending_acks(&self) -> usize {
+        self.awaiting_ack.len()
+    }
+
+    fn rebroadcast_and_track(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+    ) -> Vec<Action> {
+        let fwd = ctx.stamp(packet.forwarded_by(ctx.node, None));
+        self.awaiting_ack.insert(
+            fwd.id,
+            (fwd.clone(), ctx.now + self.retry_interval, self.max_retries),
+        );
+        vec![Action::Transmit(fwd)]
+    }
+}
+
+impl Default for Biswas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for Biswas {
+    fn name(&self) -> &'static str {
+        "Biswas"
+    }
+
+    fn category(&self) -> Category {
+        Category::Connectivity
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.seen
+            .check_and_insert(packet.source, packet.id.value(), ctx.now);
+        let mut copy = ctx.stamp(packet);
+        copy.next_hop = None;
+        self.awaiting_ack.insert(
+            copy.id,
+            (copy.clone(), ctx.now + self.retry_interval, self.max_retries),
+        );
+        vec![Action::Transmit(copy)]
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        _overheard: bool,
+    ) -> Vec<Action> {
+        // Hearing any copy of a packet we are tracking counts as the implicit
+        // acknowledgement that somebody downstream got it.
+        if packet.prev_hop != ctx.node {
+            self.awaiting_ack.remove(&packet.id);
+        }
+        if self
+            .seen
+            .check_and_insert(packet.source, packet.id.value(), ctx.now)
+        {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::Duplicate,
+            }];
+        }
+        if packet.destination == Some(ctx.node) {
+            return vec![Action::Deliver(packet)];
+        }
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        self.rebroadcast_and_track(ctx, packet)
+    }
+
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let now = ctx.now;
+        let retry_interval = self.retry_interval;
+        let mut to_retry = Vec::new();
+        let mut to_drop = Vec::new();
+        for (id, (packet, deadline, retries)) in &mut self.awaiting_ack {
+            if *deadline <= now {
+                if *retries == 0 {
+                    to_drop.push(*id);
+                } else {
+                    *retries -= 1;
+                    *deadline = now + retry_interval;
+                    to_retry.push(packet.clone());
+                }
+            }
+        }
+        for id in to_drop {
+            self.awaiting_ack.remove(&id);
+        }
+        for packet in to_retry {
+            actions.push(Action::Transmit(ctx.stamp(packet)));
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NoLocationService;
+    use vanet_mobility::{VehicleKind, VehicleState};
+    use vanet_net::{NeighborTable, PacketKind};
+    use vanet_sim::NodeId;
+    use vanet_sim::{PacketIdAllocator, SimRng};
+
+    fn make_ctx_parts(node: u32) -> (VehicleState, NeighborTable, SimRng, PacketIdAllocator) {
+        (
+            VehicleState::stationary(NodeId(node), VehicleKind::Car, vanet_mobility::Vec2::ZERO),
+            NeighborTable::new(),
+            SimRng::new(1),
+            PacketIdAllocator::new(),
+        )
+    }
+
+    macro_rules! ctx {
+        ($node:expr, $state:expr, $nbrs:expr, $rng:expr, $ids:expr) => {
+            ProtocolContext {
+                node: NodeId($node),
+                now: SimTime::ZERO,
+                state: &$state,
+                neighbors: &$nbrs,
+                range_m: 250.0,
+                rsu_ids: &[],
+                bus_ids: &[],
+                location: &NoLocationService,
+                rng: &mut $rng,
+                packet_ids: &mut $ids,
+            }
+        };
+    }
+
+    fn data_packet(id: u64, src: u32, dst: u32) -> Packet {
+        let mut p = Packet::data(NodeId(src), NodeId(dst), 100);
+        p.id = PacketId(id);
+        p
+    }
+
+    #[test]
+    fn flooding_rebroadcasts_new_packets_once() {
+        let mut proto = Flooding::new();
+        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(2);
+        let mut ctx = ctx!(2, state, nbrs, rng, ids);
+        let pkt = data_packet(1, 0, 9);
+        let first = proto.on_packet(&mut ctx, pkt.clone(), false);
+        assert!(matches!(first[0], Action::Transmit(_)));
+        let second = proto.on_packet(&mut ctx, pkt, false);
+        assert!(matches!(
+            second[0],
+            Action::Drop {
+                reason: DropReason::Duplicate,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn flooding_delivers_at_destination() {
+        let mut proto = Flooding::new();
+        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(9);
+        let mut ctx = ctx!(9, state, nbrs, rng, ids);
+        let actions = proto.on_packet(&mut ctx, data_packet(1, 0, 9), false);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::Deliver(_)));
+    }
+
+    #[test]
+    fn flooding_respects_ttl() {
+        let mut proto = Flooding::new();
+        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(2);
+        let mut ctx = ctx!(2, state, nbrs, rng, ids);
+        let mut pkt = data_packet(1, 0, 9);
+        pkt.ttl = 0;
+        let actions = proto.on_packet(&mut ctx, pkt, false);
+        assert!(matches!(
+            actions[0],
+            Action::Drop {
+                reason: DropReason::TtlExpired,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn flooding_originate_broadcasts() {
+        let mut proto = Flooding::new();
+        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(0);
+        let mut ctx = ctx!(0, state, nbrs, rng, ids);
+        let actions = proto.originate(&mut ctx, data_packet(1, 0, 9));
+        match &actions[0] {
+            Action::Transmit(p) => {
+                assert!(p.is_link_broadcast());
+                assert_eq!(p.kind, PacketKind::Data);
+            }
+            other => panic!("expected transmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn biswas_retries_until_ack_overheard() {
+        let mut proto = Biswas::new();
+        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(2);
+        let mut ctx = ctx!(2, state, nbrs, rng, ids);
+        let pkt = data_packet(1, 0, 9);
+        let actions = proto.on_packet(&mut ctx, pkt.clone(), false);
+        assert!(matches!(actions[0], Action::Transmit(_)));
+        assert_eq!(proto.pending_acks(), 1);
+
+        // Tick before the deadline: nothing happens.
+        let none = proto.on_tick(&mut ctx!(2, state, nbrs, rng, ids));
+        assert!(none.is_empty());
+
+        // Tick after the deadline: the packet is retransmitted.
+        let mut later = ctx!(2, state, nbrs, rng, ids);
+        later.now = SimTime::from_secs(2.0);
+        let retries = proto.on_tick(&mut later);
+        assert_eq!(retries.len(), 1);
+        assert!(matches!(retries[0], Action::Transmit(_)));
+
+        // Overhearing a copy from another node clears the pending entry.
+        let mut overheard_copy = pkt.forwarded_by(NodeId(3), None);
+        overheard_copy.id = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Transmit(p) => Some(p.id),
+                _ => None,
+            })
+            .unwrap();
+        let mut again = ctx!(2, state, nbrs, rng, ids);
+        again.now = SimTime::from_secs(2.5);
+        proto.on_packet(&mut again, overheard_copy, true);
+        assert_eq!(proto.pending_acks(), 0);
+    }
+
+    #[test]
+    fn biswas_gives_up_after_max_retries() {
+        let mut proto = Biswas::new();
+        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(0);
+        {
+            let mut ctx = ctx!(0, state, nbrs, rng, ids);
+            proto.originate(&mut ctx, data_packet(1, 0, 9));
+        }
+        assert_eq!(proto.pending_acks(), 1);
+        let mut transmissions = 0;
+        for i in 1..12 {
+            let mut ctx = ctx!(0, state, nbrs, rng, ids);
+            ctx.now = SimTime::from_secs(i as f64 * 1.5);
+            transmissions += proto.on_tick(&mut ctx).len();
+        }
+        assert_eq!(transmissions, 3, "exactly max_retries retransmissions");
+        assert_eq!(proto.pending_acks(), 0);
+    }
+
+    #[test]
+    fn names_and_categories() {
+        assert_eq!(Flooding::new().name(), "Flooding");
+        assert_eq!(Flooding::new().category(), Category::Connectivity);
+        assert_eq!(Biswas::new().name(), "Biswas");
+        assert_eq!(Biswas::new().category(), Category::Connectivity);
+        assert!(Flooding::new().beacon_interval().is_none());
+    }
+}

@@ -1,0 +1,761 @@
+//! Position-based next-hop forwarding: the geographic family (Sec. VI) and
+//! the probability-model protocols that select next hops by a per-link score
+//! (Sec. VII: REAR, CAR, GVGrid).
+//!
+//! All of them share the same forwarding skeleton — look up the destination's
+//! position, pick the best-scoring neighbour, hand the packet over, carry it
+//! briefly when no neighbour qualifies (local maximum) — and differ only in
+//! the scoring function, captured by [`NextHopScorer`].
+
+use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use vanet_links::probability::{
+    link_availability, receipt_probability, segment_connectivity_probability,
+};
+use vanet_mobility::geometry::distance;
+use vanet_mobility::Position;
+use vanet_net::{GeoAddress, NeighborInfo, Packet, PacketKind};
+use vanet_sim::{SimDuration, SimTime};
+
+/// Scores candidate next hops for position-based forwarding.
+pub trait NextHopScorer: Debug + Send {
+    /// Protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy category ([`Category::Geographic`] or [`Category::Probability`]).
+    fn category(&self) -> Category;
+
+    /// Score of forwarding via `neighbor` towards `dest_pos`; `None` marks the
+    /// neighbour ineligible. Higher scores are better.
+    fn score(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        neighbor: &NeighborInfo,
+        dest_pos: Position,
+    ) -> Option<f64>;
+}
+
+/// Configuration shared by all position-based protocols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoConfig {
+    /// Beacon interval (position awareness is mandatory for this family).
+    pub beacon_interval: SimDuration,
+    /// How long a packet may be carried at a local maximum before it is
+    /// dropped (store–carry–forward grace period).
+    pub carry_timeout: SimDuration,
+    /// Maximum number of packets carried while waiting for a neighbour.
+    pub carry_capacity: usize,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            beacon_interval: SimDuration::from_secs(1.0),
+            carry_timeout: SimDuration::from_secs(5.0),
+            carry_capacity: 32,
+        }
+    }
+}
+
+/// Generic position-based forwarding protocol, parameterised by the scorer.
+#[derive(Debug)]
+pub struct GeoRouting<S: NextHopScorer> {
+    scorer: S,
+    config: GeoConfig,
+    carried: VecDeque<(SimTime, Packet)>,
+}
+
+impl<S: NextHopScorer> GeoRouting<S> {
+    /// Creates a position-based protocol around `scorer`.
+    #[must_use]
+    pub fn new(scorer: S) -> Self {
+        Self::with_config(scorer, GeoConfig::default())
+    }
+
+    /// Creates a position-based protocol with explicit configuration.
+    #[must_use]
+    pub fn with_config(scorer: S, config: GeoConfig) -> Self {
+        GeoRouting {
+            scorer,
+            config,
+            carried: VecDeque::new(),
+        }
+    }
+
+    /// The scorer in use.
+    #[must_use]
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+
+    /// Number of packets currently carried while waiting for a next hop.
+    #[must_use]
+    pub fn carried_packets(&self) -> usize {
+        self.carried.len()
+    }
+
+    fn destination_position(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        packet: &Packet,
+    ) -> Option<Position> {
+        packet
+            .destination
+            .and_then(|d| ctx.location.position_of(d))
+            .or(packet.geo.map(|g| g.position))
+    }
+
+    fn forward(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) -> Vec<Action> {
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        if dest == ctx.node {
+            return vec![Action::Deliver(packet)];
+        }
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        let Some(dest_pos) = self.destination_position(ctx, &packet) else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        packet.geo = Some(GeoAddress {
+            position: dest_pos,
+            zone_radius: ctx.range_m,
+        });
+        // If the destination itself is a fresh neighbour, hand over directly.
+        if ctx.neighbors.contains(dest) {
+            return vec![Action::Transmit(
+                ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
+            )];
+        }
+        // Otherwise pick the best-scoring neighbour.
+        let mut best: Option<(f64, vanet_sim::NodeId)> = None;
+        for n in ctx.neighbors.iter() {
+            if n.id == packet.prev_hop {
+                continue;
+            }
+            if let Some(score) = self.scorer.score(ctx, n, dest_pos) {
+                match best {
+                    Some((s, _)) if s >= score => {}
+                    _ => best = Some((score, n.id)),
+                }
+            }
+        }
+        match best {
+            Some((_, next)) => vec![Action::Transmit(
+                ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
+            )],
+            None => {
+                // Local maximum: carry the packet briefly.
+                if self.carried.len() >= self.config.carry_capacity {
+                    return vec![Action::Drop {
+                        packet,
+                        reason: DropReason::BufferOverflow,
+                    }];
+                }
+                self.carried.push_back((ctx.now, packet));
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl<S: NextHopScorer> RoutingProtocol for GeoRouting<S> {
+    fn name(&self) -> &'static str {
+        self.scorer.name()
+    }
+
+    fn category(&self) -> Category {
+        self.scorer.category()
+    }
+
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        Some(self.config.beacon_interval)
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.forward(ctx, packet)
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        overheard: bool,
+    ) -> Vec<Action> {
+        match packet.kind {
+            PacketKind::Data => {
+                if packet.destination == Some(ctx.node) {
+                    return vec![Action::Deliver(packet)];
+                }
+                if overheard {
+                    return Vec::new();
+                }
+                self.forward(ctx, packet)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let carried: Vec<(SimTime, Packet)> = self.carried.drain(..).collect();
+        for (since, packet) in carried {
+            if ctx.now.saturating_since(since) > self.config.carry_timeout {
+                actions.push(Action::Drop {
+                    packet,
+                    reason: DropReason::LocalMaximum,
+                });
+            } else {
+                let retried = self.forward(ctx, packet);
+                // `forward` may re-buffer the packet; keep whatever actions
+                // (transmit/deliver/drop) it produced.
+                actions.extend(retried);
+            }
+        }
+        actions
+    }
+}
+
+/// Predictive directional greedy forwarding (Gong et al. / Lochert et al.):
+/// forward to the neighbour closest to the destination among those that make
+/// progress, with a bonus for neighbours moving *towards* the destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyScorer {
+    /// Bonus weight for neighbours whose velocity points at the destination.
+    pub direction_bonus: f64,
+}
+
+impl Default for GreedyScorer {
+    fn default() -> Self {
+        GreedyScorer {
+            direction_bonus: 0.2,
+        }
+    }
+}
+
+impl NextHopScorer for GreedyScorer {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn category(&self) -> Category {
+        Category::Geographic
+    }
+
+    fn score(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        neighbor: &NeighborInfo,
+        dest_pos: Position,
+    ) -> Option<f64> {
+        let own = distance(ctx.position(), dest_pos);
+        let theirs = distance(neighbor.position, dest_pos);
+        if theirs >= own {
+            return None;
+        }
+        let progress = (own - theirs) / ctx.range_m;
+        let towards = {
+            let to_dest = dest_pos - neighbor.position;
+            if to_dest.norm() == 0.0 || neighbor.velocity.norm() == 0.0 {
+                0.0
+            } else if neighbor.velocity.dot(to_dest) > 0.0 {
+                self.direction_bonus
+            } else {
+                0.0
+            }
+        };
+        Some(progress + towards)
+    }
+}
+
+/// REAR: the next hop is the progressing neighbour with the highest *receipt
+/// probability*, computed from the log-normal shadowing signal-strength model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RearScorer {
+    /// Path-loss exponent assumed by the receipt-probability model.
+    pub path_loss_exponent: f64,
+    /// Shadow-fading standard deviation in dB.
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for RearScorer {
+    fn default() -> Self {
+        RearScorer {
+            path_loss_exponent: 2.7,
+            shadowing_sigma_db: 4.0,
+        }
+    }
+}
+
+impl NextHopScorer for RearScorer {
+    fn name(&self) -> &'static str {
+        "REAR"
+    }
+
+    fn category(&self) -> Category {
+        Category::Probability
+    }
+
+    fn score(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        neighbor: &NeighborInfo,
+        dest_pos: Position,
+    ) -> Option<f64> {
+        let own = distance(ctx.position(), dest_pos);
+        let theirs = distance(neighbor.position, dest_pos);
+        if theirs >= own {
+            return None;
+        }
+        let link_distance = distance(ctx.position(), neighbor.position);
+        let receipt = receipt_probability(
+            link_distance,
+            ctx.range_m,
+            self.path_loss_exponent,
+            self.shadowing_sigma_db,
+        );
+        // Weight the receipt probability by the (normalised) progress so that
+        // among equally reliable neighbours the one closer to the target wins.
+        Some(receipt * (1.0 + (own - theirs) / ctx.range_m))
+    }
+}
+
+/// CAR: connectivity-aware scoring — progress weighted by the probability
+/// that the road ahead (towards the destination) is actually connected,
+/// estimated from the locally observed vehicle density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarScorer {
+    /// Length of the road stretch whose connectivity is evaluated, metres.
+    pub lookahead_m: f64,
+}
+
+impl Default for CarScorer {
+    fn default() -> Self {
+        CarScorer {
+            lookahead_m: 1_000.0,
+        }
+    }
+}
+
+impl NextHopScorer for CarScorer {
+    fn name(&self) -> &'static str {
+        "CAR"
+    }
+
+    fn category(&self) -> Category {
+        Category::Probability
+    }
+
+    fn score(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        neighbor: &NeighborInfo,
+        dest_pos: Position,
+    ) -> Option<f64> {
+        let own = distance(ctx.position(), dest_pos);
+        let theirs = distance(neighbor.position, dest_pos);
+        if theirs >= own {
+            return None;
+        }
+        // Local density estimate: neighbours per metre of road covered by the
+        // radio range (a 2r stretch of road is observable).
+        let density_per_m = (ctx.neighbors.len() as f64 + 1.0) / (2.0 * ctx.range_m);
+        let remaining = theirs.min(self.lookahead_m);
+        let connectivity =
+            segment_connectivity_probability(density_per_m, remaining.max(1.0), ctx.range_m);
+        let progress = (own - theirs) / ctx.range_m;
+        Some(connectivity * (0.1 + progress))
+    }
+}
+
+/// GVGrid: the area is partitioned into grid cells of roughly one radio range;
+/// next hops are preferred when they sit in the next cell towards the
+/// destination and their link is predicted to stay available for the time the
+/// packet needs to cross a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GvGridScorer {
+    /// Grid cell edge length, metres (defaults to 250 m, the radio range).
+    pub cell_m: f64,
+    /// Relative-speed standard deviation assumed by the availability model.
+    pub speed_std: f64,
+    /// Horizon (seconds) over which the link must stay available.
+    pub horizon_s: f64,
+}
+
+impl Default for GvGridScorer {
+    fn default() -> Self {
+        GvGridScorer {
+            cell_m: 250.0,
+            speed_std: 5.0,
+            horizon_s: 5.0,
+        }
+    }
+}
+
+impl GvGridScorer {
+    fn cell_of(&self, p: Position) -> (i64, i64) {
+        (
+            (p.x / self.cell_m).floor() as i64,
+            (p.y / self.cell_m).floor() as i64,
+        )
+    }
+}
+
+impl NextHopScorer for GvGridScorer {
+    fn name(&self) -> &'static str {
+        "GVGrid"
+    }
+
+    fn category(&self) -> Category {
+        Category::Probability
+    }
+
+    fn score(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        neighbor: &NeighborInfo,
+        dest_pos: Position,
+    ) -> Option<f64> {
+        let own = distance(ctx.position(), dest_pos);
+        let theirs = distance(neighbor.position, dest_pos);
+        if theirs >= own {
+            return None;
+        }
+        let separation = distance(ctx.position(), neighbor.position);
+        let relative_speed = (ctx.velocity() - neighbor.velocity).norm();
+        let availability = link_availability(
+            separation.min(ctx.range_m),
+            relative_speed,
+            self.speed_std,
+            ctx.range_m,
+            self.horizon_s,
+        );
+        let my_cell = self.cell_of(ctx.position());
+        let their_cell = self.cell_of(neighbor.position);
+        let cell_bonus = if their_cell != my_cell { 0.5 } else { 0.0 };
+        let progress = (own - theirs) / ctx.range_m;
+        Some(availability * (progress + cell_bonus))
+    }
+}
+
+/// The Greedy geographic protocol type.
+pub type Greedy = GeoRouting<GreedyScorer>;
+/// The REAR protocol type.
+pub type Rear = GeoRouting<RearScorer>;
+/// The CAR protocol type.
+pub type Car = GeoRouting<CarScorer>;
+/// The GVGrid protocol type.
+pub type GvGrid = GeoRouting<GvGridScorer>;
+
+/// Creates a Greedy (predictive directional greedy) instance.
+#[must_use]
+pub fn greedy() -> Greedy {
+    Greedy::new(GreedyScorer::default())
+}
+
+/// Creates a REAR instance.
+#[must_use]
+pub fn rear() -> Rear {
+    Rear::new(RearScorer::default())
+}
+
+/// Creates a CAR instance.
+#[must_use]
+pub fn car() -> Car {
+    Car::new(CarScorer::default())
+}
+
+/// Creates a GVGrid instance.
+#[must_use]
+pub fn gvgrid() -> GvGrid {
+    GvGrid::new(GvGridScorer::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TableLocationService;
+    use vanet_mobility::{Vec2, VehicleKind, VehicleState};
+    use vanet_net::NeighborTable;
+    use vanet_sim::{NodeId, PacketIdAllocator, SimRng};
+
+    struct Harness {
+        state: VehicleState,
+        neighbors: NeighborTable,
+        location: TableLocationService,
+        rng: SimRng,
+        ids: PacketIdAllocator,
+    }
+
+    impl Harness {
+        fn new(id: u32, x: f64) -> Self {
+            let mut state =
+                VehicleState::stationary(NodeId(id), VehicleKind::Car, Vec2::new(x, 0.0));
+            state.velocity = Vec2::new(20.0, 0.0);
+            Harness {
+                state,
+                neighbors: NeighborTable::new(),
+                location: TableLocationService::new(),
+                rng: SimRng::new(1),
+                ids: PacketIdAllocator::new(),
+            }
+        }
+
+        fn add_neighbor(&mut self, id: u32, x: f64, vx: f64) {
+            self.neighbors.observe(
+                NodeId(id),
+                Vec2::new(x, 0.0),
+                Vec2::new(vx, 0.0),
+                SimTime::ZERO,
+                SimDuration::from_secs(10.0),
+            );
+        }
+
+        fn ctx(&mut self, now: f64) -> ProtocolContext<'_> {
+            ProtocolContext {
+                node: self.state.id,
+                now: SimTime::from_secs(now),
+                state: &self.state,
+                neighbors: &self.neighbors,
+                range_m: 250.0,
+                rsu_ids: &[],
+                bus_ids: &[],
+                location: &self.location,
+                rng: &mut self.rng,
+                packet_ids: &mut self.ids,
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_forwards_to_closest_progressing_neighbor() {
+        let mut h = Harness::new(0, 0.0);
+        h.location
+            .set(NodeId(9), Vec2::new(1_000.0, 0.0), Vec2::ZERO);
+        h.add_neighbor(1, 100.0, 20.0);
+        h.add_neighbor(2, 200.0, 20.0);
+        h.add_neighbor(3, -100.0, 20.0); // backwards, never chosen
+        let mut proto = greedy();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+        };
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Transmit(p) => assert_eq!(p.next_hop, Some(NodeId(2))),
+            other => panic!("expected transmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_neighbors_moving_towards_destination_on_ties() {
+        let mut h = Harness::new(0, 0.0);
+        h.location
+            .set(NodeId(9), Vec2::new(1_000.0, 0.0), Vec2::ZERO);
+        // Two neighbours at the same progress; one drives towards the
+        // destination, the other away.
+        h.add_neighbor(1, 150.0, -20.0);
+        h.add_neighbor(2, 150.0, 20.0);
+        let mut proto = greedy();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+        };
+        match &actions[0] {
+            Action::Transmit(p) => assert_eq!(p.next_hop, Some(NodeId(2))),
+            other => panic!("expected transmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_maximum_carries_then_drops() {
+        let mut h = Harness::new(0, 0.0);
+        h.location
+            .set(NodeId(9), Vec2::new(1_000.0, 0.0), Vec2::ZERO);
+        h.add_neighbor(3, -100.0, 20.0); // only a backwards neighbour
+        let mut proto = greedy();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+        };
+        assert!(actions.is_empty(), "packet is carried, not dropped yet");
+        assert_eq!(proto.carried_packets(), 1);
+        // Within the carry window the packet is retried (and re-carried).
+        let retry = {
+            let mut ctx = h.ctx(3.0);
+            proto.on_tick(&mut ctx)
+        };
+        assert!(retry.is_empty());
+        assert_eq!(proto.carried_packets(), 1);
+        // After the timeout it is dropped as a local maximum.
+        let expired = {
+            let mut ctx = h.ctx(10.0);
+            proto.on_tick(&mut ctx)
+        };
+        assert!(matches!(
+            expired[0],
+            Action::Drop {
+                reason: DropReason::LocalMaximum,
+                ..
+            }
+        ));
+        assert_eq!(proto.carried_packets(), 0);
+    }
+
+    #[test]
+    fn carried_packet_is_sent_when_a_neighbor_appears() {
+        let mut h = Harness::new(0, 0.0);
+        h.location
+            .set(NodeId(9), Vec2::new(1_000.0, 0.0), Vec2::ZERO);
+        let mut proto = greedy();
+        {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100));
+        }
+        assert_eq!(proto.carried_packets(), 1);
+        h.add_neighbor(4, 180.0, 20.0);
+        let actions = {
+            let mut ctx = h.ctx(2.0);
+            proto.on_tick(&mut ctx)
+        };
+        assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(4))));
+        assert_eq!(proto.carried_packets(), 0);
+    }
+
+    #[test]
+    fn direct_delivery_to_neighbor_destination() {
+        let mut h = Harness::new(0, 0.0);
+        h.location.set(NodeId(9), Vec2::new(150.0, 0.0), Vec2::ZERO);
+        h.add_neighbor(9, 150.0, 20.0);
+        let mut proto = greedy();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+        };
+        assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(9))));
+    }
+
+    #[test]
+    fn unknown_destination_position_is_a_drop() {
+        let mut h = Harness::new(0, 0.0);
+        let mut proto = greedy();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+        };
+        assert!(matches!(
+            actions[0],
+            Action::Drop {
+                reason: DropReason::NoRoute,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rear_prefers_reliable_links() {
+        let h_state = |x: f64| {
+            let mut s = VehicleState::stationary(NodeId(0), VehicleKind::Car, Vec2::new(x, 0.0));
+            s.velocity = Vec2::new(20.0, 0.0);
+            s
+        };
+        let mut h = Harness::new(0, 0.0);
+        h.state = h_state(0.0);
+        h.location
+            .set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
+        // A close reliable neighbour and a distant marginal one.
+        h.add_neighbor(1, 120.0, 20.0);
+        h.add_neighbor(2, 245.0, 20.0);
+        let scorer = RearScorer::default();
+        let (s1, s2) = {
+            let ctx = h.ctx(1.0);
+            let n1 = *ctx.neighbors.get(NodeId(1)).unwrap();
+            let n2 = *ctx.neighbors.get(NodeId(2)).unwrap();
+            (
+                scorer.score(&ctx, &n1, Vec2::new(2_000.0, 0.0)).unwrap(),
+                scorer.score(&ctx, &n2, Vec2::new(2_000.0, 0.0)).unwrap(),
+            )
+        };
+        assert!(
+            s1 > s2,
+            "the reliable 120 m link should beat the marginal 245 m link ({s1} vs {s2})"
+        );
+    }
+
+    #[test]
+    fn car_score_grows_with_density() {
+        let scorer = CarScorer::default();
+        let dest = Vec2::new(3_000.0, 0.0);
+        // Sparse neighbourhood.
+        let mut sparse = Harness::new(0, 0.0);
+        sparse.location.set(NodeId(9), dest, Vec2::ZERO);
+        sparse.add_neighbor(1, 200.0, 20.0);
+        let sparse_score = {
+            let ctx = sparse.ctx(1.0);
+            let n = *ctx.neighbors.get(NodeId(1)).unwrap();
+            scorer.score(&ctx, &n, dest).unwrap()
+        };
+        // Dense neighbourhood.
+        let mut dense = Harness::new(0, 0.0);
+        dense.location.set(NodeId(9), dest, Vec2::ZERO);
+        for i in 1..30 {
+            dense.add_neighbor(i, 10.0 * i as f64, 20.0);
+        }
+        let dense_score = {
+            let ctx = dense.ctx(1.0);
+            let n = *ctx.neighbors.get(NodeId(20)).unwrap();
+            scorer.score(&ctx, &n, dest).unwrap()
+        };
+        assert!(
+            dense_score > sparse_score,
+            "denser traffic means better connectivity: {dense_score} vs {sparse_score}"
+        );
+    }
+
+    #[test]
+    fn gvgrid_penalises_unstable_links() {
+        let scorer = GvGridScorer::default();
+        let dest = Vec2::new(3_000.0, 0.0);
+        let mut h = Harness::new(0, 0.0);
+        h.location.set(NodeId(9), dest, Vec2::ZERO);
+        h.add_neighbor(1, 200.0, 20.0); // same direction as us (20 m/s)
+        h.add_neighbor(2, 200.0, -20.0); // opposite direction
+        let (stable, unstable) = {
+            let ctx = h.ctx(1.0);
+            let n1 = *ctx.neighbors.get(NodeId(1)).unwrap();
+            let n2 = *ctx.neighbors.get(NodeId(2)).unwrap();
+            (
+                scorer.score(&ctx, &n1, dest).unwrap(),
+                scorer.score(&ctx, &n2, dest).unwrap(),
+            )
+        };
+        assert!(
+            stable > unstable,
+            "same-direction neighbour should score higher: {stable} vs {unstable}"
+        );
+    }
+
+    #[test]
+    fn protocol_identities() {
+        assert_eq!(greedy().name(), "Greedy");
+        assert_eq!(greedy().category(), Category::Geographic);
+        assert_eq!(rear().name(), "REAR");
+        assert_eq!(rear().category(), Category::Probability);
+        assert_eq!(car().name(), "CAR");
+        assert_eq!(car().category(), Category::Probability);
+        assert_eq!(gvgrid().name(), "GVGrid");
+        assert_eq!(gvgrid().category(), Category::Probability);
+        assert!(greedy().beacon_interval().is_some());
+    }
+}

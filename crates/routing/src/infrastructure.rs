@@ -1,0 +1,624 @@
+//! Infrastructure-based routing (Sec. V): DRR-style RSU-assisted relaying and
+//! bus message ferries.
+//!
+//! * **DRR** (He et al.): road-side units act as *virtual equivalent nodes*
+//!   connected by a wired backbone. Vehicles hand packets to the nearest RSU
+//!   when direct multi-hop delivery is not possible; the RSU ships the packet
+//!   over the backbone to the RSU closest to the destination, which delivers
+//!   it by radio (buffering it until the destination drives into range).
+//! * **Bus** (Kitani et al.): buses on regular routes carry packets across
+//!   connectivity gaps (store–carry–forward) thanks to their large storage.
+
+use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use std::collections::VecDeque;
+use vanet_mobility::geometry::distance;
+use vanet_net::{Packet, PacketKind};
+use vanet_sim::{NodeId, SimDuration, SimTime};
+
+/// Configuration for the DRR protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrrConfig {
+    /// Beacon interval (vehicles must know which RSUs/neighbours are around).
+    pub beacon_interval: SimDuration,
+    /// How long an RSU buffers a packet waiting for its destination.
+    pub rsu_buffer_timeout: SimDuration,
+    /// RSU buffer capacity (packets).
+    pub rsu_buffer_capacity: usize,
+}
+
+impl Default for DrrConfig {
+    fn default() -> Self {
+        DrrConfig {
+            beacon_interval: SimDuration::from_secs(1.0),
+            rsu_buffer_timeout: SimDuration::from_secs(60.0),
+            rsu_buffer_capacity: 256,
+        }
+    }
+}
+
+/// DRR: differentiated reliable routing over road-side units.
+#[derive(Debug)]
+pub struct Drr {
+    config: DrrConfig,
+    /// Packets buffered at this node (used on RSUs as the VEN buffer and on
+    /// vehicles while waiting to meet an RSU).
+    buffer: VecDeque<(SimTime, Packet)>,
+}
+
+impl Drr {
+    /// Creates a DRR instance with default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(DrrConfig::default())
+    }
+
+    /// Creates a DRR instance with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: DrrConfig) -> Self {
+        Drr {
+            config,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// Number of packets currently buffered at this node.
+    #[must_use]
+    pub fn buffered_packets(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The RSU (other than this node) whose current position is closest to
+    /// `target`, if any.
+    fn closest_rsu_to(
+        ctx: &ProtocolContext<'_>,
+        target: vanet_mobility::Position,
+    ) -> Option<NodeId> {
+        ctx.rsu_ids
+            .iter()
+            .filter(|&&r| r != ctx.node)
+            .filter_map(|&r| ctx.location.position_of(r).map(|p| (r, distance(p, target))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(r, _)| r)
+    }
+
+    /// An RSU currently within radio range of this node, if any.
+    fn rsu_in_range(ctx: &ProtocolContext<'_>) -> Option<NodeId> {
+        ctx.rsu_ids
+            .iter()
+            .filter(|&&r| r != ctx.node)
+            .filter_map(|&r| ctx.location.position_of(r).map(|p| (r, distance(p, ctx.position()))))
+            .filter(|(_, d)| *d <= ctx.range_m)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(r, _)| r)
+    }
+
+    fn handle_as_rsu(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        // Deliver directly if the destination is in radio range of this RSU.
+        if let Some(dest_pos) = ctx.location.position_of(dest) {
+            if distance(dest_pos, ctx.position()) <= ctx.range_m {
+                return vec![Action::Transmit(
+                    ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
+                )];
+            }
+            // Otherwise ship it over the backbone to the RSU nearest the
+            // destination (if that is not us).
+            if let Some(better_rsu) = Self::closest_rsu_to(ctx, dest_pos) {
+                let own_distance = distance(ctx.position(), dest_pos);
+                let their_distance = ctx
+                    .location
+                    .position_of(better_rsu)
+                    .map_or(f64::INFINITY, |p| distance(p, dest_pos));
+                if their_distance + 1.0 < own_distance {
+                    return vec![Action::BackboneSend {
+                        to: better_rsu,
+                        packet,
+                    }];
+                }
+            }
+        }
+        // We are the best-placed RSU but the destination is out of range:
+        // buffer and retry on subsequent ticks (the VEN behaviour).
+        if self.buffer.len() >= self.config.rsu_buffer_capacity {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::BufferOverflow,
+            }];
+        }
+        self.buffer.push_back((ctx.now, packet));
+        Vec::new()
+    }
+
+    fn handle_as_vehicle(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        // Direct neighbour? Hand it over.
+        if ctx.neighbors.contains(dest) {
+            return vec![Action::Transmit(
+                ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
+            )];
+        }
+        // RSU in range? Give the packet to the infrastructure.
+        if let Some(rsu) = Self::rsu_in_range(ctx) {
+            return vec![Action::Transmit(
+                ctx.stamp(packet.forwarded_by(ctx.node, Some(rsu))),
+            )];
+        }
+        // Otherwise forward greedily towards the nearest RSU.
+        if let Some(rsu) = Self::closest_rsu_to(ctx, ctx.position()) {
+            if let Some(rsu_pos) = ctx.location.position_of(rsu) {
+                let own = distance(ctx.position(), rsu_pos);
+                if let Some(next) = ctx.neighbors.greedy_next_hop(rsu_pos, own) {
+                    let next_id = next.id;
+                    return vec![Action::Transmit(
+                        ctx.stamp(packet.forwarded_by(ctx.node, Some(next_id))),
+                    )];
+                }
+            }
+        }
+        // Nobody to hand the packet to: carry it for a while.
+        if self.buffer.len() >= self.config.rsu_buffer_capacity {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::BufferOverflow,
+            }];
+        }
+        self.buffer.push_back((ctx.now, packet));
+        Vec::new()
+    }
+
+    fn process(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        if packet.destination == Some(ctx.node) {
+            return vec![Action::Deliver(packet)];
+        }
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        if ctx.is_rsu() {
+            self.handle_as_rsu(ctx, packet)
+        } else {
+            self.handle_as_vehicle(ctx, packet)
+        }
+    }
+}
+
+impl Default for Drr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for Drr {
+    fn name(&self) -> &'static str {
+        "DRR"
+    }
+
+    fn category(&self) -> Category {
+        Category::Infrastructure
+    }
+
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        Some(self.config.beacon_interval)
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.process(ctx, packet)
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        overheard: bool,
+    ) -> Vec<Action> {
+        if packet.kind != PacketKind::Data {
+            return Vec::new();
+        }
+        if packet.destination == Some(ctx.node) {
+            return vec![Action::Deliver(packet)];
+        }
+        if overheard {
+            return Vec::new();
+        }
+        self.process(ctx, packet)
+    }
+
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let buffered: Vec<(SimTime, Packet)> = self.buffer.drain(..).collect();
+        for (since, packet) in buffered {
+            if ctx.now.saturating_since(since) > self.config.rsu_buffer_timeout {
+                actions.push(Action::Drop {
+                    packet,
+                    reason: DropReason::Expired,
+                });
+            } else {
+                actions.extend(self.process(ctx, packet));
+            }
+        }
+        actions
+    }
+}
+
+/// Configuration for the bus-ferry protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusFerryConfig {
+    /// Beacon interval.
+    pub beacon_interval: SimDuration,
+    /// Bus buffer timeout (buses have large storage, so this is generous).
+    pub bus_buffer_timeout: SimDuration,
+    /// Buffer capacity on buses.
+    pub bus_buffer_capacity: usize,
+    /// Buffer capacity on ordinary cars waiting to meet a bus.
+    pub car_buffer_capacity: usize,
+}
+
+impl Default for BusFerryConfig {
+    fn default() -> Self {
+        BusFerryConfig {
+            beacon_interval: SimDuration::from_secs(1.0),
+            bus_buffer_timeout: SimDuration::from_secs(300.0),
+            bus_buffer_capacity: 4_096,
+            car_buffer_capacity: 32,
+        }
+    }
+}
+
+/// Bus message ferrying: store–carry–forward over buses on regular routes.
+#[derive(Debug)]
+pub struct BusFerry {
+    config: BusFerryConfig,
+    buffer: VecDeque<(SimTime, Packet)>,
+}
+
+impl BusFerry {
+    /// Creates a bus-ferry instance with default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(BusFerryConfig::default())
+    }
+
+    /// Creates a bus-ferry instance with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: BusFerryConfig) -> Self {
+        BusFerry {
+            config,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// Number of packets currently carried by this node.
+    #[must_use]
+    pub fn buffered_packets(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn capacity(&self, ctx: &ProtocolContext<'_>) -> usize {
+        if ctx.is_bus() {
+            self.config.bus_buffer_capacity
+        } else {
+            self.config.car_buffer_capacity
+        }
+    }
+
+    fn process(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        if packet.destination == Some(ctx.node) {
+            return vec![Action::Deliver(packet)];
+        }
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        // Destination in range: hand over.
+        if ctx.neighbors.contains(dest) {
+            return vec![Action::Transmit(
+                ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
+            )];
+        }
+        // A bus in range (and we are not a bus ourselves): hand the packet to
+        // the ferry.
+        if !ctx.is_bus() {
+            let bus_in_range = ctx
+                .bus_ids
+                .iter()
+                .find(|&&b| b != ctx.node && ctx.neighbors.contains(b))
+                .copied();
+            if let Some(bus) = bus_in_range {
+                return vec![Action::Transmit(
+                    ctx.stamp(packet.forwarded_by(ctx.node, Some(bus))),
+                )];
+            }
+        }
+        // Otherwise carry.
+        if self.buffer.len() >= self.capacity(ctx) {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::BufferOverflow,
+            }];
+        }
+        self.buffer.push_back((ctx.now, packet));
+        Vec::new()
+    }
+}
+
+impl Default for BusFerry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for BusFerry {
+    fn name(&self) -> &'static str {
+        "Bus"
+    }
+
+    fn category(&self) -> Category {
+        Category::Infrastructure
+    }
+
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        Some(self.config.beacon_interval)
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.process(ctx, packet)
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        overheard: bool,
+    ) -> Vec<Action> {
+        if packet.kind != PacketKind::Data {
+            return Vec::new();
+        }
+        if packet.destination == Some(ctx.node) {
+            return vec![Action::Deliver(packet)];
+        }
+        if overheard {
+            return Vec::new();
+        }
+        self.process(ctx, packet)
+    }
+
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let buffered: Vec<(SimTime, Packet)> = self.buffer.drain(..).collect();
+        for (since, packet) in buffered {
+            if ctx.now.saturating_since(since) > self.config.bus_buffer_timeout {
+                actions.push(Action::Drop {
+                    packet,
+                    reason: DropReason::Expired,
+                });
+            } else {
+                actions.extend(self.process(ctx, packet));
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TableLocationService;
+    use vanet_mobility::{Vec2, VehicleKind, VehicleState};
+    use vanet_net::NeighborTable;
+    use vanet_sim::{PacketIdAllocator, SimRng};
+
+    struct Harness {
+        state: VehicleState,
+        neighbors: NeighborTable,
+        location: TableLocationService,
+        rsus: Vec<NodeId>,
+        buses: Vec<NodeId>,
+        rng: SimRng,
+        ids: PacketIdAllocator,
+    }
+
+    impl Harness {
+        fn new(id: u32, pos: Vec2, kind: VehicleKind) -> Self {
+            Harness {
+                state: VehicleState::stationary(NodeId(id), kind, pos),
+                neighbors: NeighborTable::new(),
+                location: TableLocationService::new(),
+                rsus: Vec::new(),
+                buses: Vec::new(),
+                rng: SimRng::new(1),
+                ids: PacketIdAllocator::new(),
+            }
+        }
+
+        fn ctx(&mut self, now: f64) -> ProtocolContext<'_> {
+            ProtocolContext {
+                node: self.state.id,
+                now: SimTime::from_secs(now),
+                state: &self.state,
+                neighbors: &self.neighbors,
+                range_m: 250.0,
+                rsu_ids: &self.rsus,
+                bus_ids: &self.buses,
+                location: &self.location,
+                rng: &mut self.rng,
+                packet_ids: &mut self.ids,
+            }
+        }
+    }
+
+    #[test]
+    fn vehicle_hands_packets_to_rsu_in_range() {
+        let mut h = Harness::new(0, Vec2::ZERO, VehicleKind::Car);
+        h.rsus = vec![NodeId(100)];
+        h.location.set(NodeId(100), Vec2::new(150.0, 0.0), Vec2::ZERO);
+        h.location.set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        let mut drr = Drr::new();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            drr.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+        };
+        assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(100))));
+    }
+
+    #[test]
+    fn rsu_ships_packets_over_backbone_to_rsu_near_destination() {
+        let mut h = Harness::new(100, Vec2::ZERO, VehicleKind::RoadSideUnit);
+        h.rsus = vec![NodeId(100), NodeId(101)];
+        h.location.set(NodeId(101), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        h.location.set(NodeId(9), Vec2::new(5_100.0, 0.0), Vec2::ZERO);
+        let mut drr = Drr::new();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            drr.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false)
+        };
+        assert!(matches!(
+            &actions[0],
+            Action::BackboneSend { to, .. } if *to == NodeId(101)
+        ));
+    }
+
+    #[test]
+    fn rsu_delivers_directly_or_buffers_until_destination_arrives() {
+        let mut h = Harness::new(100, Vec2::ZERO, VehicleKind::RoadSideUnit);
+        h.rsus = vec![NodeId(100)];
+        // Destination far away: the RSU buffers.
+        h.location.set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        let mut drr = Drr::new();
+        let buffered = {
+            let mut ctx = h.ctx(1.0);
+            drr.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false)
+        };
+        assert!(buffered.is_empty());
+        assert_eq!(drr.buffered_packets(), 1);
+        // The destination drives into range: the next tick delivers it.
+        h.location.set(NodeId(9), Vec2::new(100.0, 0.0), Vec2::ZERO);
+        let actions = {
+            let mut ctx = h.ctx(5.0);
+            drr.on_tick(&mut ctx)
+        };
+        assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(9))));
+        assert_eq!(drr.buffered_packets(), 0);
+    }
+
+    #[test]
+    fn rsu_buffer_expires_packets() {
+        let mut h = Harness::new(100, Vec2::ZERO, VehicleKind::RoadSideUnit);
+        h.rsus = vec![NodeId(100)];
+        h.location.set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        let mut drr = Drr::new();
+        {
+            let mut ctx = h.ctx(1.0);
+            drr.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false);
+        }
+        let actions = {
+            let mut ctx = h.ctx(500.0);
+            drr.on_tick(&mut ctx)
+        };
+        assert!(matches!(
+            actions[0],
+            Action::Drop {
+                reason: DropReason::Expired,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn car_hands_packets_to_a_bus_and_bus_delivers() {
+        // The car sees a bus but not the destination.
+        let mut car = Harness::new(0, Vec2::ZERO, VehicleKind::Car);
+        car.buses = vec![NodeId(50)];
+        car.neighbors.observe(
+            NodeId(50),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(10.0),
+        );
+        let mut proto_car = BusFerry::new();
+        let handed = {
+            let mut ctx = car.ctx(1.0);
+            proto_car.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+        };
+        assert!(matches!(&handed[0], Action::Transmit(p) if p.next_hop == Some(NodeId(50))));
+
+        // The bus carries the packet until the destination shows up.
+        let mut bus = Harness::new(50, Vec2::new(100.0, 0.0), VehicleKind::Bus);
+        bus.buses = vec![NodeId(50)];
+        let mut proto_bus = BusFerry::new();
+        let carried = {
+            let mut ctx = bus.ctx(2.0);
+            proto_bus.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false)
+        };
+        assert!(carried.is_empty());
+        assert_eq!(proto_bus.buffered_packets(), 1);
+        // Destination appears as a neighbour.
+        bus.neighbors.observe(
+            NodeId(9),
+            Vec2::new(150.0, 0.0),
+            Vec2::ZERO,
+            SimTime::from_secs(100.0),
+            SimDuration::from_secs(10.0),
+        );
+        let delivered = {
+            let mut ctx = bus.ctx(101.0);
+            proto_bus.on_tick(&mut ctx)
+        };
+        assert!(matches!(&delivered[0], Action::Transmit(p) if p.next_hop == Some(NodeId(9))));
+    }
+
+    #[test]
+    fn car_without_bus_carries_up_to_capacity() {
+        let mut car = Harness::new(0, Vec2::ZERO, VehicleKind::Car);
+        let mut proto = BusFerry::with_config(BusFerryConfig {
+            car_buffer_capacity: 2,
+            ..BusFerryConfig::default()
+        });
+        for i in 0..3 {
+            let mut ctx = car.ctx(1.0 + f64::from(i));
+            let actions = proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            if i < 2 {
+                assert!(actions.is_empty());
+            } else {
+                assert!(matches!(
+                    actions[0],
+                    Action::Drop {
+                        reason: DropReason::BufferOverflow,
+                        ..
+                    }
+                ));
+            }
+        }
+        assert_eq!(proto.buffered_packets(), 2);
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(Drr::new().name(), "DRR");
+        assert_eq!(Drr::new().category(), Category::Infrastructure);
+        assert_eq!(BusFerry::new().name(), "Bus");
+        assert_eq!(BusFerry::new().category(), Category::Infrastructure);
+        assert!(Drr::new().beacon_interval().is_some());
+        assert!(BusFerry::new().beacon_interval().is_some());
+    }
+}

@@ -1,0 +1,60 @@
+//! # vanet-routing — the five routing families
+//!
+//! Implementations of representative protocols from every category of the
+//! paper's taxonomy (Fig. 1):
+//!
+//! | Category | Protocols |
+//! |---|---|
+//! | Connectivity-based | [`Flooding`], [`Biswas`], [`Aodv`], [`Dsdv`] |
+//! | Mobility-based | [`Pbr`], [`Taleb`], [`Abedi`] |
+//! | Infrastructure-based | [`Drr`], [`BusFerry`] |
+//! | Geographic-location-based | [`Greedy`], [`Zone`], [`Rover`] |
+//! | Probability-model-based | [`Yan`], [`Car`], [`Rear`], [`GvGrid`] |
+//!
+//! Every protocol implements the event-driven [`RoutingProtocol`] trait and is
+//! driven by the simulation layer in `vanet-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use vanet_routing::{aodv, RoutingProtocol, Category};
+//!
+//! let protocol = aodv();
+//! assert_eq!(protocol.name(), "AODV");
+//! assert_eq!(protocol.category(), Category::Connectivity);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aodv;
+pub mod common;
+pub mod dsdv;
+pub mod flooding;
+pub mod geographic;
+pub mod infrastructure;
+pub mod mobility_protocols;
+pub mod ondemand;
+pub mod protocol;
+pub mod yan;
+pub mod zone;
+
+pub use aodv::{aodv, Aodv, AodvPolicy};
+pub use common::{PendingBuffer, RouteEntry, RoutingTable, SeenCache};
+pub use dsdv::{Dsdv, DsdvConfig};
+pub use flooding::{Biswas, Flooding};
+pub use geographic::{
+    car, greedy, gvgrid, rear, Car, CarScorer, GeoConfig, GeoRouting, GreedyScorer, Greedy,
+    GvGrid, GvGridScorer, NextHopScorer, Rear, RearScorer,
+};
+pub use infrastructure::{BusFerry, BusFerryConfig, Drr, DrrConfig};
+pub use mobility_protocols::{
+    abedi, pbr, taleb, Abedi, AbediPolicy, Pbr, PbrPolicy, Taleb, TalebPolicy,
+};
+pub use ondemand::{DiscoveryPolicy, OnDemandConfig, OnDemandRouting};
+pub use protocol::{
+    Action, Category, DropReason, LocationService, NoLocationService, ProtocolContext,
+    RoutingProtocol, TableLocationService,
+};
+pub use yan::{TicketMetric, Yan, YanConfig};
+pub use zone::{in_corridor, rover, Rover, RoverPolicy, Zone};

@@ -1,0 +1,298 @@
+//! The routing-protocol abstraction.
+//!
+//! Every protocol in the five families implements [`RoutingProtocol`]: a
+//! purely event-driven state machine that reacts to received packets,
+//! periodic ticks and neighbour-loss notifications by returning a list of
+//! [`Action`]s for the simulation driver to carry out. Protocols never touch
+//! the medium or the clock directly, which keeps them deterministic and
+//! individually unit-testable.
+
+use std::fmt;
+use vanet_mobility::{Position, VehicleState, Velocity};
+use vanet_net::{NeighborTable, Packet};
+use vanet_sim::{NodeId, PacketIdAllocator, SimDuration, SimRng, SimTime};
+
+/// The five routing families of the paper's taxonomy (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Connectivity-based (flooding-derived) routing.
+    Connectivity,
+    /// Mobility-based routing (link-lifetime / direction prediction).
+    Mobility,
+    /// Infrastructure-based routing (RSUs, buses).
+    Infrastructure,
+    /// Geographic-location-based routing.
+    Geographic,
+    /// Probability-model-based routing.
+    Probability,
+}
+
+impl Category {
+    /// All categories in taxonomy order.
+    pub const ALL: [Category; 5] = [
+        Category::Connectivity,
+        Category::Mobility,
+        Category::Infrastructure,
+        Category::Geographic,
+        Category::Probability,
+    ];
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Category::Connectivity => "connectivity",
+            Category::Mobility => "mobility",
+            Category::Infrastructure => "infrastructure",
+            Category::Geographic => "geographic",
+            Category::Probability => "probability",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Why a protocol dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The TTL reached zero.
+    TtlExpired,
+    /// No route / no suitable next hop was available.
+    NoRoute,
+    /// Greedy forwarding reached a local maximum.
+    LocalMaximum,
+    /// The packet was a duplicate of one already handled.
+    Duplicate,
+    /// An internal buffer overflowed.
+    BufferOverflow,
+    /// The packet waited too long in a buffer.
+    Expired,
+    /// The packet was outside the protocol's forwarding zone.
+    OutOfZone,
+    /// The packet was not addressed to this node.
+    NotForMe,
+}
+
+/// What a protocol asks the simulation driver to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit a frame on the wireless medium (unicast when
+    /// `packet.next_hop` is set, link-layer broadcast otherwise).
+    Transmit(Packet),
+    /// Deliver a data packet to the local application (it reached its
+    /// destination).
+    Deliver(Packet),
+    /// Drop a packet, recording the reason in the metrics.
+    Drop {
+        /// The dropped packet.
+        packet: Packet,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// Send a packet over the wired infrastructure backbone to another
+    /// road-side unit. Only meaningful when both this node and `to` are RSUs;
+    /// the driver applies a fixed backbone latency and no radio cost.
+    BackboneSend {
+        /// The receiving road-side unit.
+        to: NodeId,
+        /// The packet to hand over.
+        packet: Packet,
+    },
+}
+
+/// An idealised location service (the "GPS + digital map" assumption the
+/// geographic and probability protocols make): returns the current position
+/// and velocity of any node.
+pub trait LocationService {
+    /// Current position of `node`, if known.
+    fn position_of(&self, node: NodeId) -> Option<Position>;
+
+    /// Current velocity of `node`, if known.
+    fn velocity_of(&self, node: NodeId) -> Option<Velocity>;
+}
+
+/// A location service that knows nothing (used by protocols that do not rely
+/// on positions, and in unit tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLocationService;
+
+impl LocationService for NoLocationService {
+    fn position_of(&self, _node: NodeId) -> Option<Position> {
+        None
+    }
+
+    fn velocity_of(&self, _node: NodeId) -> Option<Velocity> {
+        None
+    }
+}
+
+/// A location service backed by a static table of positions/velocities.
+#[derive(Debug, Clone, Default)]
+pub struct TableLocationService {
+    entries: std::collections::HashMap<NodeId, (Position, Velocity)>,
+}
+
+impl TableLocationService {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the position and velocity of a node.
+    pub fn set(&mut self, node: NodeId, position: Position, velocity: Velocity) {
+        self.entries.insert(node, (position, velocity));
+    }
+}
+
+impl LocationService for TableLocationService {
+    fn position_of(&self, node: NodeId) -> Option<Position> {
+        self.entries.get(&node).map(|e| e.0)
+    }
+
+    fn velocity_of(&self, node: NodeId) -> Option<Velocity> {
+        self.entries.get(&node).map(|e| e.1)
+    }
+}
+
+/// Everything a protocol may consult when reacting to an event.
+pub struct ProtocolContext<'a> {
+    /// The node this protocol instance runs on.
+    pub node: NodeId,
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The node's own kinematic state.
+    pub state: &'a VehicleState,
+    /// The node's neighbour table (maintained by the beaconing service).
+    pub neighbors: &'a NeighborTable,
+    /// Nominal radio range in metres.
+    pub range_m: f64,
+    /// Ids of the road-side units deployed in the scenario.
+    pub rsu_ids: &'a [NodeId],
+    /// Ids of the bus (message-ferry) nodes in the scenario.
+    pub bus_ids: &'a [NodeId],
+    /// The location service (ideal GPS / digital map).
+    pub location: &'a dyn LocationService,
+    /// Deterministic randomness for jitter and tie-breaking.
+    pub rng: &'a mut SimRng,
+    /// Allocator for fresh packet ids (control packets created by protocols).
+    pub packet_ids: &'a mut PacketIdAllocator,
+}
+
+impl<'a> ProtocolContext<'a> {
+    /// Own current position.
+    #[must_use]
+    pub fn position(&self) -> Position {
+        self.state.position
+    }
+
+    /// Own current velocity.
+    #[must_use]
+    pub fn velocity(&self) -> Velocity {
+        self.state.velocity
+    }
+
+    /// Whether this node is a road-side unit.
+    #[must_use]
+    pub fn is_rsu(&self) -> bool {
+        self.rsu_ids.contains(&self.node)
+    }
+
+    /// Whether this node is a bus (message ferry).
+    #[must_use]
+    pub fn is_bus(&self) -> bool {
+        self.bus_ids.contains(&self.node)
+    }
+
+    /// Creates a fresh control packet stamped with this node as source and
+    /// the current time.
+    #[must_use]
+    pub fn new_control_packet(&mut self, kind: vanet_net::PacketKind) -> Packet {
+        let mut p = Packet::broadcast(self.node, kind, 0);
+        p.id = self.packet_ids.allocate();
+        p.created_at = self.now;
+        p.sender_position = Some(self.state.position);
+        p.sender_velocity = Some(self.state.velocity);
+        p
+    }
+
+    /// Stamps an outgoing copy of `packet` with this node's current position
+    /// and velocity (the piggybacked mobility information every transmitted
+    /// frame carries).
+    #[must_use]
+    pub fn stamp(&self, mut packet: Packet) -> Packet {
+        packet.sender_position = Some(self.state.position);
+        packet.sender_velocity = Some(self.state.velocity);
+        packet
+    }
+}
+
+/// A VANET routing protocol instance (one per node).
+pub trait RoutingProtocol: fmt::Debug {
+    /// Human-readable protocol name (e.g. `"AODV"`).
+    fn name(&self) -> &'static str;
+
+    /// Which family of the taxonomy the protocol belongs to.
+    fn category(&self) -> Category;
+
+    /// Interval at which this protocol needs HELLO position beacons, if any.
+    /// Protocols that return `None` incur no beaconing overhead.
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// The local application wants to send `packet` (a data packet with
+    /// `destination` set). The protocol may transmit it immediately, buffer
+    /// it while a route is discovered, or drop it.
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action>;
+
+    /// A frame addressed to (or overheard by, when `overheard`) this node
+    /// arrived.
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        overheard: bool,
+    ) -> Vec<Action>;
+
+    /// Periodic maintenance tick (roughly once per second).
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action>;
+
+    /// A neighbour's beacon lease expired (link break detected).
+    fn on_neighbor_lost(
+        &mut self,
+        _ctx: &mut ProtocolContext<'_>,
+        _neighbor: NodeId,
+    ) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_display_and_order() {
+        assert_eq!(Category::ALL.len(), 5);
+        assert_eq!(Category::Connectivity.to_string(), "connectivity");
+        assert_eq!(Category::Probability.to_string(), "probability");
+        let mut sorted = Category::ALL;
+        sorted.sort();
+        assert_eq!(sorted, Category::ALL);
+    }
+
+    #[test]
+    fn table_location_service() {
+        let mut svc = TableLocationService::new();
+        assert!(svc.position_of(NodeId(1)).is_none());
+        svc.set(
+            NodeId(1),
+            Position::new(10.0, 0.0),
+            Velocity::new(1.0, 0.0),
+        );
+        assert_eq!(svc.position_of(NodeId(1)).unwrap().x, 10.0);
+        assert_eq!(svc.velocity_of(NodeId(1)).unwrap().x, 1.0);
+        assert!(NoLocationService.position_of(NodeId(1)).is_none());
+        assert!(NoLocationService.velocity_of(NodeId(1)).is_none());
+    }
+}

@@ -1,0 +1,627 @@
+//! Yan et al.'s ticket-based probing (the probability-model representative
+//! the survey's last author co-proposed, Sec. VII-B).
+//!
+//! Instead of flooding route requests, the source issues a small number of
+//! *tickets*. Each ticket is forwarded unicast to the most promising
+//! neighbours — ranked by the probabilistic *expected link duration* (or, in
+//! the TBP-SS variant, the *mean link duration*, called stability) — and the
+//! ticket budget is split among them, bounding the probing cost. Tickets that
+//! reach the destination return the discovered path; the source picks the
+//! path whose bottleneck stability is highest and source-routes data along it.
+
+use crate::common::{PendingBuffer, SeenCache};
+use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use std::collections::HashMap;
+use vanet_links::probability::{expected_link_duration, mean_link_duration};
+use vanet_mobility::geometry::distance;
+use vanet_net::{NeighborInfo, Packet, PacketKind, RouteRecord};
+use vanet_sim::{NodeId, SeqNo, SimDuration, SimTime};
+
+/// Which stability metric the tickets optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketMetric {
+    /// Expected link duration (full probabilistic expectation).
+    ExpectedDuration,
+    /// Mean link duration — the "stability" metric of TBP-SS.
+    MeanDuration,
+}
+
+/// Configuration of the ticket-based probing protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YanConfig {
+    /// Number of tickets issued per probing round.
+    pub tickets: u32,
+    /// Maximum number of neighbours a ticket is split across at each hop.
+    pub max_branches: u32,
+    /// Which stability metric is optimised.
+    pub metric: TicketMetric,
+    /// Standard deviation assumed for the relative-speed distribution (only
+    /// used by the expected-duration metric).
+    pub relative_speed_std: f64,
+    /// How long a discovered source route stays valid.
+    pub route_lifetime: SimDuration,
+    /// Beacon interval (mobility awareness is required).
+    pub beacon_interval: SimDuration,
+    /// Minimum spacing between probing rounds for the same destination.
+    pub probe_retry_interval: SimDuration,
+}
+
+impl Default for YanConfig {
+    fn default() -> Self {
+        YanConfig {
+            tickets: 3,
+            max_branches: 2,
+            metric: TicketMetric::ExpectedDuration,
+            relative_speed_std: 3.0,
+            route_lifetime: SimDuration::from_secs(30.0),
+            beacon_interval: SimDuration::from_secs(1.0),
+            probe_retry_interval: SimDuration::from_secs(2.0),
+        }
+    }
+}
+
+impl YanConfig {
+    /// The TBP-SS variant: stability (mean link duration) as the metric.
+    #[must_use]
+    pub fn stability_constrained() -> Self {
+        YanConfig {
+            metric: TicketMetric::MeanDuration,
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedRoute {
+    route: RouteRecord,
+    metric: f64,
+    expires_at: SimTime,
+}
+
+/// Yan's ticket-based probing protocol.
+#[derive(Debug)]
+pub struct Yan {
+    config: YanConfig,
+    routes: HashMap<NodeId, CachedRoute>,
+    pending: PendingBuffer,
+    probes_seen: SeenCache,
+    next_probe_id: u64,
+    last_probe: HashMap<NodeId, SimTime>,
+    my_seq: SeqNo,
+}
+
+impl Yan {
+    /// Creates a ticket-probing instance with default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(YanConfig::default())
+    }
+
+    /// Creates a ticket-probing instance with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: YanConfig) -> Self {
+        Yan {
+            config,
+            routes: HashMap::new(),
+            pending: PendingBuffer::new(16, SimDuration::from_secs(8.0)),
+            probes_seen: SeenCache::new(30.0),
+            next_probe_id: 0,
+            last_probe: HashMap::new(),
+            my_seq: SeqNo(0),
+        }
+    }
+
+    /// The number of cached source routes.
+    #[must_use]
+    pub fn cached_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Stability of the link between this node and a neighbour, under the
+    /// configured metric. The separation is measured towards the range
+    /// boundary in the direction of relative motion.
+    fn link_stability(&self, ctx: &ProtocolContext<'_>, neighbor: &NeighborInfo) -> f64 {
+        let separation = distance(ctx.position(), neighbor.position).min(ctx.range_m);
+        let relative = (ctx.velocity() - neighbor.velocity).norm();
+        match self.config.metric {
+            TicketMetric::ExpectedDuration => expected_link_duration(
+                separation,
+                relative,
+                self.config.relative_speed_std,
+                ctx.range_m,
+            ),
+            TicketMetric::MeanDuration => mean_link_duration(separation, relative, ctx.range_m),
+        }
+    }
+
+    /// Selects up to `max_branches` candidate next hops for a ticket heading
+    /// to `dest`, ranked by link stability, excluding nodes already on the
+    /// path. Candidates must make geographic progress when the destination's
+    /// position is known (terminates the probe).
+    fn candidates(
+        &self,
+        ctx: &ProtocolContext<'_>,
+        dest: NodeId,
+        path: &[NodeId],
+    ) -> Vec<(NodeId, f64)> {
+        let dest_pos = ctx.location.position_of(dest);
+        let own_progress = dest_pos.map(|p| distance(ctx.position(), p));
+        let mut scored: Vec<(NodeId, f64)> = ctx
+            .neighbors
+            .iter()
+            .filter(|n| !path.contains(&n.id) && n.id != ctx.node)
+            .filter(|n| match (dest_pos, own_progress) {
+                (Some(p), Some(own)) => n.id == dest || distance(n.position, p) < own,
+                _ => true,
+            })
+            .map(|n| (n.id, self.link_stability(ctx, n)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.config.max_branches as usize);
+        scored
+    }
+
+    fn start_probe(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) -> Vec<Action> {
+        if let Some(last) = self.last_probe.get(&dest) {
+            if ctx.now.saturating_since(*last) < self.config.probe_retry_interval {
+                return Vec::new();
+            }
+        }
+        self.last_probe.insert(dest, ctx.now);
+        let probe_id = self.next_probe_id;
+        self.next_probe_id += 1;
+        self.probes_seen.check_and_insert(ctx.node, probe_id, ctx.now);
+        let path = vec![ctx.node];
+        let candidates = self.candidates(ctx, dest, &path);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        let share = (self.config.tickets / candidates.len() as u32).max(1);
+        for (next, stability) in candidates {
+            let mut ticket = ctx.new_control_packet(PacketKind::Ticket {
+                target: dest,
+                probe_id,
+                tickets: share,
+                path: path.clone(),
+                metric: stability,
+            });
+            ticket.destination = Some(dest);
+            ticket.next_hop = Some(next);
+            actions.push(Action::Transmit(ticket));
+        }
+        actions
+    }
+
+    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) -> Vec<Action> {
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        if dest == ctx.node {
+            return vec![Action::Deliver(packet)];
+        }
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        // Source routing: follow the embedded route if present.
+        if let Some(route) = packet.source_route.clone() {
+            if let Some(idx) = route.iter().position(|&n| n == ctx.node) {
+                if idx + 1 < route.len() {
+                    let next = route[idx + 1];
+                    return vec![Action::Transmit(
+                        ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
+                    )];
+                }
+            }
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        }
+        // At the source: attach a cached route or probe for one.
+        if let Some(cached) = self.routes.get(&dest) {
+            if cached.expires_at >= ctx.now {
+                packet.source_route = Some(cached.route.clone());
+                return self.forward_data(ctx, packet);
+            }
+            self.routes.remove(&dest);
+        }
+        self.pending.push(dest, packet, ctx.now);
+        self.start_probe(ctx, dest)
+    }
+
+    fn handle_ticket(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        let (target, probe_id, tickets, path, metric) = match &packet.kind {
+            PacketKind::Ticket {
+                target,
+                probe_id,
+                tickets,
+                path,
+                metric,
+            } => (*target, *probe_id, *tickets, path.clone(), *metric),
+            _ => unreachable!("handle_ticket called with a non-ticket packet"),
+        };
+        let origin = packet.source;
+        let mut new_path = path.clone();
+        new_path.push(ctx.node);
+        if target == ctx.node {
+            // Ticket arrived: reply with the discovered route and its
+            // bottleneck stability.
+            self.my_seq = self.my_seq.next();
+            let mut reply = ctx.new_control_packet(PacketKind::RouteReply {
+                target: ctx.node,
+                route: new_path.clone(),
+                metric,
+                target_seq: self.my_seq,
+            });
+            reply.destination = Some(origin);
+            reply.next_hop = Some(packet.prev_hop);
+            reply.source_route = Some(new_path.into_iter().rev().collect());
+            return vec![Action::Transmit(reply)];
+        }
+        if self.probes_seen.check_and_insert(origin, probe_id, ctx.now) {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::Duplicate,
+            }];
+        }
+        if !packet.ttl_allows_forwarding() || tickets == 0 {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        // Split the remaining tickets among the best candidate next hops.
+        let candidates = self.candidates(ctx, target, &new_path);
+        if candidates.is_empty() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        }
+        let branches = candidates.len().min(tickets as usize).max(1);
+        let share = (tickets / branches as u32).max(1);
+        let mut actions = Vec::new();
+        for (next, stability) in candidates.into_iter().take(branches) {
+            let mut fwd = packet.forwarded_by(ctx.node, Some(next));
+            fwd.kind = PacketKind::Ticket {
+                target,
+                probe_id,
+                tickets: share,
+                path: new_path.clone(),
+                metric: metric.min(stability),
+            };
+            actions.push(Action::Transmit(ctx.stamp(fwd)));
+        }
+        actions
+    }
+
+    fn handle_reply(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        let (target, route, metric) = match &packet.kind {
+            PacketKind::RouteReply {
+                target,
+                route,
+                metric,
+                ..
+            } => (*target, route.clone(), *metric),
+            _ => unreachable!("handle_reply called with a non-reply packet"),
+        };
+        let Some(my_index) = route.iter().position(|&n| n == ctx.node) else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NotForMe,
+            }];
+        };
+        if my_index == 0 {
+            // We are the probing source: cache the best route.
+            let better = match self.routes.get(&target) {
+                Some(existing) => metric > existing.metric || existing.expires_at < ctx.now,
+                None => true,
+            };
+            if better {
+                self.routes.insert(
+                    target,
+                    CachedRoute {
+                        route: route.clone(),
+                        metric,
+                        expires_at: ctx.now + self.config.route_lifetime,
+                    },
+                );
+            }
+            let mut actions = Vec::new();
+            for pending in self.pending.take(target, ctx.now) {
+                actions.extend(self.forward_data(ctx, pending));
+            }
+            return actions;
+        }
+        // Relay the reply towards the source along the recorded path.
+        let previous = route[my_index - 1];
+        vec![Action::Transmit(
+            ctx.stamp(packet.forwarded_by(ctx.node, Some(previous))),
+        )]
+    }
+}
+
+impl Default for Yan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for Yan {
+    fn name(&self) -> &'static str {
+        match self.config.metric {
+            TicketMetric::ExpectedDuration => "Yan",
+            TicketMetric::MeanDuration => "Yan-TBPSS",
+        }
+    }
+
+    fn category(&self) -> Category {
+        Category::Probability
+    }
+
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        Some(self.config.beacon_interval)
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+        self.forward_data(ctx, packet)
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        overheard: bool,
+    ) -> Vec<Action> {
+        if overheard {
+            return Vec::new();
+        }
+        match &packet.kind {
+            PacketKind::Data => self.forward_data(ctx, packet),
+            PacketKind::Ticket { .. } => self.handle_ticket(ctx, packet),
+            PacketKind::RouteReply { .. } => self.handle_reply(ctx, packet),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        let mut actions: Vec<Action> = self
+            .pending
+            .expire(ctx.now)
+            .into_iter()
+            .map(|packet| Action::Drop {
+                packet,
+                reason: DropReason::Expired,
+            })
+            .collect();
+        for dest in self.pending.destinations() {
+            actions.extend(self.start_probe(ctx, dest));
+        }
+        actions
+    }
+
+    fn on_neighbor_lost(
+        &mut self,
+        _ctx: &mut ProtocolContext<'_>,
+        neighbor: NodeId,
+    ) -> Vec<Action> {
+        // Invalidate cached routes that use the lost neighbour.
+        self.routes
+            .retain(|_, cached| !cached.route.contains(&neighbor));
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TableLocationService;
+    use vanet_mobility::{Vec2, VehicleKind, VehicleState};
+    use vanet_net::NeighborTable;
+    use vanet_sim::{PacketIdAllocator, SimRng};
+
+    struct Harness {
+        state: VehicleState,
+        neighbors: NeighborTable,
+        location: TableLocationService,
+        rng: SimRng,
+        ids: PacketIdAllocator,
+    }
+
+    impl Harness {
+        fn new(id: u32, x: f64) -> Self {
+            let mut state =
+                VehicleState::stationary(NodeId(id), VehicleKind::Car, Vec2::new(x, 0.0));
+            state.velocity = Vec2::new(25.0, 0.0);
+            Harness {
+                state,
+                neighbors: NeighborTable::new(),
+                location: TableLocationService::new(),
+                rng: SimRng::new(1),
+                ids: PacketIdAllocator::new(),
+            }
+        }
+
+        fn add_neighbor(&mut self, id: u32, x: f64, vx: f64) {
+            self.neighbors.observe(
+                NodeId(id),
+                Vec2::new(x, 0.0),
+                Vec2::new(vx, 0.0),
+                SimTime::ZERO,
+                SimDuration::from_secs(10.0),
+            );
+        }
+
+        fn ctx(&mut self, now: f64) -> ProtocolContext<'_> {
+            ProtocolContext {
+                node: self.state.id,
+                now: SimTime::from_secs(now),
+                state: &self.state,
+                neighbors: &self.neighbors,
+                range_m: 250.0,
+                rsu_ids: &[],
+                bus_ids: &[],
+                location: &self.location,
+                rng: &mut self.rng,
+                packet_ids: &mut self.ids,
+            }
+        }
+    }
+
+    #[test]
+    fn probing_issues_tickets_to_stable_progressing_neighbors() {
+        let mut h = Harness::new(0, 0.0);
+        h.location.set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
+        h.add_neighbor(1, 150.0, 25.0); // stable, progressing
+        h.add_neighbor(2, 150.0, -25.0); // unstable (opposite), progressing
+        h.add_neighbor(3, -150.0, 25.0); // behind, filtered out
+        let mut yan = Yan::new();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+        };
+        // Two candidates → two tickets (max_branches = 2), both unicast.
+        assert_eq!(actions.len(), 2);
+        let mut next_hops: Vec<NodeId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Transmit(p) => {
+                    assert!(matches!(p.kind, PacketKind::Ticket { .. }));
+                    p.next_hop.unwrap()
+                }
+                other => panic!("expected ticket transmit, got {other:?}"),
+            })
+            .collect();
+        next_hops.sort();
+        assert_eq!(next_hops, vec![NodeId(1), NodeId(2)]);
+        // The stable neighbour's ticket carries the larger metric.
+        let metric_of = |target: NodeId| {
+            actions
+                .iter()
+                .find_map(|a| match a {
+                    Action::Transmit(p) if p.next_hop == Some(target) => match &p.kind {
+                        PacketKind::Ticket { metric, .. } => Some(*metric),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(metric_of(NodeId(1)) > metric_of(NodeId(2)));
+    }
+
+    #[test]
+    fn destination_replies_and_source_caches_route() {
+        // Destination node 9 receives a ticket and replies.
+        let mut dest = Harness::new(9, 400.0);
+        let mut yan_dest = Yan::new();
+        let mut ticket = Packet::broadcast(
+            NodeId(0),
+            PacketKind::Ticket {
+                target: NodeId(9),
+                probe_id: 0,
+                tickets: 1,
+                path: vec![NodeId(0), NodeId(1)],
+                metric: 42.0,
+            },
+            0,
+        );
+        ticket.destination = Some(NodeId(9));
+        ticket.prev_hop = NodeId(1);
+        ticket.next_hop = Some(NodeId(9));
+        let reply_actions = {
+            let mut ctx = dest.ctx(2.0);
+            yan_dest.on_packet(&mut ctx, ticket, false)
+        };
+        let reply = match &reply_actions[0] {
+            Action::Transmit(p) => {
+                assert!(matches!(p.kind, PacketKind::RouteReply { .. }));
+                assert_eq!(p.next_hop, Some(NodeId(1)));
+                p.clone()
+            }
+            other => panic!("expected reply, got {other:?}"),
+        };
+
+        // The source receives the reply (after relaying) and caches the route.
+        let mut src = Harness::new(0, 0.0);
+        src.location.set(NodeId(9), Vec2::new(400.0, 0.0), Vec2::ZERO);
+        src.add_neighbor(1, 150.0, 25.0);
+        let mut yan_src = Yan::new();
+        // Buffer a data packet first so the reply flushes it.
+        {
+            let mut ctx = src.ctx(1.0);
+            yan_src.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+        }
+        let flushed = {
+            let mut ctx = src.ctx(3.0);
+            yan_src.on_packet(&mut ctx, reply, false)
+        };
+        assert_eq!(yan_src.cached_routes(), 1);
+        assert!(flushed.iter().any(|a| matches!(
+            a,
+            Action::Transmit(p) if p.kind == PacketKind::Data && p.source_route.is_some()
+        )));
+    }
+
+    #[test]
+    fn data_follows_source_route_hop_by_hop() {
+        let mut relay = Harness::new(1, 150.0);
+        let mut yan = Yan::new();
+        let mut data = Packet::data(NodeId(0), NodeId(9), 64);
+        data.source_route = Some(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(9)]);
+        data.prev_hop = NodeId(0);
+        data.next_hop = Some(NodeId(1));
+        let actions = {
+            let mut ctx = relay.ctx(2.0);
+            yan.on_packet(&mut ctx, data, false)
+        };
+        assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(2))));
+    }
+
+    #[test]
+    fn lost_neighbor_invalidates_routes_through_it() {
+        let mut h = Harness::new(0, 0.0);
+        h.location.set(NodeId(9), Vec2::new(400.0, 0.0), Vec2::ZERO);
+        let mut yan = Yan::new();
+        yan.routes.insert(
+            NodeId(9),
+            CachedRoute {
+                route: vec![NodeId(0), NodeId(1), NodeId(9)],
+                metric: 10.0,
+                expires_at: SimTime::from_secs(100.0),
+            },
+        );
+        {
+            let mut ctx = h.ctx(1.0);
+            yan.on_neighbor_lost(&mut ctx, NodeId(1));
+        }
+        assert_eq!(yan.cached_routes(), 0);
+    }
+
+    #[test]
+    fn tbpss_variant_uses_mean_duration_and_different_name() {
+        let yan = Yan::with_config(YanConfig::stability_constrained());
+        assert_eq!(yan.name(), "Yan-TBPSS");
+        assert_eq!(Yan::new().name(), "Yan");
+        assert_eq!(yan.category(), Category::Probability);
+    }
+
+    #[test]
+    fn no_neighbors_means_no_probe() {
+        let mut h = Harness::new(0, 0.0);
+        h.location.set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
+        let mut yan = Yan::new();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+        };
+        assert!(actions.is_empty(), "packet is buffered until probing succeeds");
+    }
+}

@@ -1,0 +1,413 @@
+//! Zone-based geographic routing (Sec. VI): zone-restricted flooding
+//! (Bronsted & Kristensen) and ROVER-style zone-scoped discovery.
+//!
+//! Both use the destination's geographic zone to bound where packets are
+//! relayed: `Zone` floods data but only within a corridor between the source
+//! and the destination zone, `Rover` runs the on-demand discovery skeleton
+//! with the same corridor as its forwarding filter (control packets are
+//! broadcast inside the zone, data is then unicast along the found route).
+
+use crate::common::SeenCache;
+use crate::ondemand::{DiscoveryPolicy, OnDemandRouting};
+use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use vanet_mobility::geometry::distance;
+use vanet_mobility::Position;
+use vanet_net::{GeoAddress, Packet, PacketKind};
+use vanet_sim::SimDuration;
+
+/// Whether `candidate` lies inside the forwarding corridor between `from` and
+/// the destination zone centred at `dest` with radius `zone_radius`: the
+/// corridor is the set of points whose detour over the straight line is at
+/// most `margin` metres (an ellipse with foci `from` and `dest`).
+#[must_use]
+pub fn in_corridor(
+    candidate: Position,
+    from: Position,
+    dest: Position,
+    zone_radius: f64,
+    margin: f64,
+) -> bool {
+    let direct = distance(from, dest);
+    let detour = distance(from, candidate) + distance(candidate, dest);
+    detour <= direct + margin + zone_radius
+}
+
+/// Zone-restricted flooding.
+#[derive(Debug)]
+pub struct Zone {
+    seen: SeenCache,
+    /// Extra corridor width allowed around the straight source→destination
+    /// line, metres.
+    corridor_margin_m: f64,
+    beacon_interval: SimDuration,
+}
+
+impl Zone {
+    /// Creates a zone-flooding instance with a 500 m corridor margin.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_margin(500.0)
+    }
+
+    /// Creates a zone-flooding instance with an explicit corridor margin.
+    #[must_use]
+    pub fn with_margin(corridor_margin_m: f64) -> Self {
+        Zone {
+            seen: SeenCache::new(60.0),
+            corridor_margin_m,
+            beacon_interval: SimDuration::from_secs(1.0),
+        }
+    }
+}
+
+impl Default for Zone {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingProtocol for Zone {
+    fn name(&self) -> &'static str {
+        "Zone"
+    }
+
+    fn category(&self) -> Category {
+        Category::Geographic
+    }
+
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        Some(self.beacon_interval)
+    }
+
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) -> Vec<Action> {
+        let Some(dest) = packet.destination else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        let Some(dest_pos) = ctx.location.position_of(dest) else {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            }];
+        };
+        packet.geo = Some(GeoAddress {
+            position: dest_pos,
+            zone_radius: ctx.range_m,
+        });
+        self.seen
+            .check_and_insert(packet.source, packet.id.value(), ctx.now);
+        let mut copy = ctx.stamp(packet);
+        copy.next_hop = None;
+        vec![Action::Transmit(copy)]
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        packet: Packet,
+        _overheard: bool,
+    ) -> Vec<Action> {
+        if packet.kind != PacketKind::Data {
+            return Vec::new();
+        }
+        if self
+            .seen
+            .check_and_insert(packet.source, packet.id.value(), ctx.now)
+        {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::Duplicate,
+            }];
+        }
+        if packet.destination == Some(ctx.node) {
+            return vec![Action::Deliver(packet)];
+        }
+        if !packet.ttl_allows_forwarding() {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::TtlExpired,
+            }];
+        }
+        // Only nodes inside the corridor towards the destination zone relay.
+        let inside = match (packet.geo, packet.sender_position) {
+            (Some(geo), Some(sender)) => in_corridor(
+                ctx.position(),
+                sender,
+                geo.position,
+                geo.zone_radius,
+                self.corridor_margin_m,
+            ),
+            (Some(geo), None) => distance(ctx.position(), geo.position) <= geo.zone_radius * 4.0,
+            _ => true,
+        };
+        if !inside {
+            return vec![Action::Drop {
+                packet,
+                reason: DropReason::OutOfZone,
+            }];
+        }
+        vec![Action::Transmit(ctx.stamp(packet.forwarded_by(ctx.node, None)))]
+    }
+
+    fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+/// The ROVER discovery policy: hop-count metric (like AODV) but route
+/// requests are relayed only inside the zone/corridor towards the destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoverPolicy {
+    /// Route lifetime.
+    pub route_lifetime: SimDuration,
+    /// Corridor margin around the straight line, metres.
+    pub corridor_margin_m: f64,
+    /// Beacon interval.
+    pub beacon_interval: SimDuration,
+}
+
+impl Default for RoverPolicy {
+    fn default() -> Self {
+        RoverPolicy {
+            route_lifetime: SimDuration::from_secs(10.0),
+            corridor_margin_m: 500.0,
+            beacon_interval: SimDuration::from_secs(1.0),
+        }
+    }
+}
+
+impl DiscoveryPolicy for RoverPolicy {
+    fn name(&self) -> &'static str {
+        "ROVER"
+    }
+
+    fn category(&self) -> Category {
+        Category::Geographic
+    }
+
+    fn beacon_interval(&self) -> Option<SimDuration> {
+        Some(self.beacon_interval)
+    }
+
+    fn link_metric(&self, _ctx: &ProtocolContext<'_>, _packet: &Packet) -> f64 {
+        -1.0
+    }
+
+    fn combine(&self, path_metric: f64, link_metric: f64) -> f64 {
+        path_metric + link_metric
+    }
+
+    fn initial_metric(&self) -> f64 {
+        0.0
+    }
+
+    fn should_forward_request(&self, ctx: &ProtocolContext<'_>, packet: &Packet) -> bool {
+        match (packet.geo, packet.sender_position) {
+            (Some(geo), Some(sender)) => in_corridor(
+                ctx.position(),
+                sender,
+                geo.position,
+                geo.zone_radius,
+                self.corridor_margin_m,
+            ),
+            // Without a known destination zone ROVER degenerates to AODV.
+            _ => true,
+        }
+    }
+
+    fn route_lifetime(&self, _metric: f64) -> SimDuration {
+        self.route_lifetime
+    }
+}
+
+/// The ROVER protocol type.
+pub type Rover = OnDemandRouting<RoverPolicy>;
+
+/// Creates a ROVER instance with default parameters.
+#[must_use]
+pub fn rover() -> Rover {
+    Rover::new(RoverPolicy::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TableLocationService;
+    use vanet_mobility::{Vec2, VehicleKind, VehicleState};
+    use vanet_net::NeighborTable;
+    use vanet_sim::{NodeId, PacketIdAllocator, SimRng, SimTime};
+
+    struct Harness {
+        state: VehicleState,
+        neighbors: NeighborTable,
+        location: TableLocationService,
+        rng: SimRng,
+        ids: PacketIdAllocator,
+    }
+
+    impl Harness {
+        fn new(id: u32, pos: Vec2) -> Self {
+            Harness {
+                state: VehicleState::stationary(NodeId(id), VehicleKind::Car, pos),
+                neighbors: NeighborTable::new(),
+                location: TableLocationService::new(),
+                rng: SimRng::new(1),
+                ids: PacketIdAllocator::new(),
+            }
+        }
+
+        fn ctx(&mut self, now: f64) -> ProtocolContext<'_> {
+            ProtocolContext {
+                node: self.state.id,
+                now: SimTime::from_secs(now),
+                state: &self.state,
+                neighbors: &self.neighbors,
+                range_m: 250.0,
+                rsu_ids: &[],
+                bus_ids: &[],
+                location: &self.location,
+                rng: &mut self.rng,
+                packet_ids: &mut self.ids,
+            }
+        }
+    }
+
+    #[test]
+    fn corridor_membership() {
+        let from = Vec2::new(0.0, 0.0);
+        let dest = Vec2::new(2_000.0, 0.0);
+        assert!(in_corridor(Vec2::new(1_000.0, 0.0), from, dest, 250.0, 500.0));
+        assert!(in_corridor(Vec2::new(1_000.0, 300.0), from, dest, 250.0, 500.0));
+        assert!(!in_corridor(Vec2::new(1_000.0, 2_000.0), from, dest, 250.0, 500.0));
+        assert!(!in_corridor(Vec2::new(-1_500.0, 0.0), from, dest, 250.0, 500.0));
+    }
+
+    #[test]
+    fn zone_originate_attaches_destination_zone() {
+        let mut h = Harness::new(0, Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(1_500.0, 0.0), Vec2::ZERO);
+        let mut proto = Zone::new();
+        let actions = {
+            let mut ctx = h.ctx(1.0);
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+        };
+        match &actions[0] {
+            Action::Transmit(p) => {
+                assert!(p.geo.is_some());
+                assert!(p.is_link_broadcast());
+            }
+            other => panic!("expected transmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zone_nodes_outside_corridor_do_not_relay() {
+        let dest_pos = Vec2::new(2_000.0, 0.0);
+        let mut packet = Packet::data(NodeId(0), NodeId(9), 64);
+        packet.geo = Some(GeoAddress {
+            position: dest_pos,
+            zone_radius: 250.0,
+        });
+        packet.sender_position = Some(Vec2::ZERO);
+
+        // A node on the corridor relays.
+        let mut on_path = Harness::new(3, Vec2::new(800.0, 100.0));
+        let mut proto_a = Zone::new();
+        let relayed = {
+            let mut ctx = on_path.ctx(1.0);
+            proto_a.on_packet(&mut ctx, packet.clone(), false)
+        };
+        assert!(matches!(relayed[0], Action::Transmit(_)));
+
+        // A node far off the corridor drops.
+        let mut off_path = Harness::new(4, Vec2::new(800.0, 3_000.0));
+        let mut proto_b = Zone::new();
+        let dropped = {
+            let mut ctx = off_path.ctx(1.0);
+            proto_b.on_packet(&mut ctx, packet, false)
+        };
+        assert!(matches!(
+            dropped[0],
+            Action::Drop {
+                reason: DropReason::OutOfZone,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zone_delivers_and_deduplicates() {
+        let mut h = Harness::new(9, Vec2::new(2_000.0, 0.0));
+        let mut proto = Zone::new();
+        let mut packet = Packet::data(NodeId(0), NodeId(9), 64);
+        packet.geo = Some(GeoAddress {
+            position: Vec2::new(2_000.0, 0.0),
+            zone_radius: 250.0,
+        });
+        packet.sender_position = Some(Vec2::new(1_800.0, 0.0));
+        let first = {
+            let mut ctx = h.ctx(1.0);
+            proto.on_packet(&mut ctx, packet.clone(), false)
+        };
+        assert!(matches!(first[0], Action::Deliver(_)));
+        let dup = {
+            let mut ctx = h.ctx(1.1);
+            proto.on_packet(&mut ctx, packet, false)
+        };
+        assert!(matches!(
+            dup[0],
+            Action::Drop {
+                reason: DropReason::Duplicate,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rover_policy_filters_by_corridor() {
+        let policy = RoverPolicy::default();
+        let mut inside = Harness::new(1, Vec2::new(900.0, 100.0));
+        let mut rreq = Packet::broadcast(
+            NodeId(0),
+            PacketKind::RouteRequest {
+                target: NodeId(9),
+                request_id: 1,
+                hop_count: 0,
+                path: vec![NodeId(0)],
+                metric: 0.0,
+            },
+            0,
+        );
+        rreq.geo = Some(GeoAddress {
+            position: Vec2::new(2_000.0, 0.0),
+            zone_radius: 250.0,
+        });
+        rreq.sender_position = Some(Vec2::ZERO);
+        {
+            let ctx = inside.ctx(1.0);
+            assert!(policy.should_forward_request(&ctx, &rreq));
+        }
+        let mut outside = Harness::new(2, Vec2::new(900.0, 4_000.0));
+        {
+            let ctx = outside.ctx(1.0);
+            assert!(!policy.should_forward_request(&ctx, &rreq));
+        }
+        // Without zone information ROVER behaves like AODV.
+        rreq.geo = None;
+        {
+            let ctx = outside.ctx(1.0);
+            assert!(policy.should_forward_request(&ctx, &rreq));
+        }
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(Zone::new().name(), "Zone");
+        assert_eq!(Zone::new().category(), Category::Geographic);
+        assert_eq!(rover().name(), "ROVER");
+        assert_eq!(rover().category(), Category::Geographic);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the simulation kernel.
+
+use crate::time::SimTime;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An event was scheduled in the past relative to the current clock.
+    ScheduledInPast {
+        /// The current simulation time.
+        now: SimTime,
+        /// The (invalid) requested time.
+        requested: SimTime,
+    },
+    /// The simulation ran out of events before reaching the requested time.
+    ExhaustedEvents {
+        /// The time of the last processed event.
+        last: SimTime,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduledInPast { now, requested } => write!(
+                f,
+                "event scheduled in the past: now {now}, requested {requested}"
+            ),
+            SimError::ExhaustedEvents { last } => {
+                write!(f, "event queue exhausted at {last}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ScheduledInPast {
+            now: SimTime::from_secs(2.0),
+            requested: SimTime::from_secs(1.0),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("past"));
+        assert!(msg.contains("2.0"));
+
+        let e = SimError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+
+        let e = SimError::ExhaustedEvents {
+            last: SimTime::from_secs(3.0),
+        };
+        assert!(e.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered primarily by their firing time, and secondarily by a
+//! monotonically increasing sequence number assigned at insertion. The
+//! sequence number makes processing order deterministic when several events
+//! share the same timestamp — essential for reproducible simulations where two
+//! runs with the same seed must produce byte-identical results.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: the time, insertion sequence and payload.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion order, used as a deterministic tie-breaker.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+    /// Cancellation flag index (see [`EventQueue::push_cancellable`]).
+    handle: Option<usize>,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest time pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A handle that can be used to cancel a scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(usize);
+
+/// A deterministic priority queue of timed events.
+///
+/// # Example
+///
+/// ```
+/// use vanet_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5.0), "late");
+/// q.push(SimTime::from_secs(5.0), "late-too, but inserted second");
+/// q.push(SimTime::from_secs(1.0), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+    cancelled: Vec<bool>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events in the queue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the queue holds no live events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        self.heap.push(EventEntry {
+            time,
+            seq,
+            event,
+            handle: None,
+        });
+    }
+
+    /// Schedules `event` at `time` and returns a handle that can later be
+    /// passed to [`EventQueue::cancel`].
+    pub fn push_cancellable(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        let idx = self.cancelled.len();
+        self.cancelled.push(false);
+        self.heap.push(EventEntry {
+            time,
+            seq,
+            event,
+            handle: Some(idx),
+        });
+        EventHandle(idx)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op and returns `false`.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self.cancelled.get_mut(handle.0) {
+            Some(flag) if !*flag => {
+                *flag = true;
+                self.live = self.live.saturating_sub(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns the time of the next live event without removing it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if let Some(idx) = entry.handle {
+                if self.cancelled[idx] {
+                    continue;
+                }
+                // Mark fired so a later cancel() is a no-op.
+                self.cancelled[idx] = true;
+            }
+            self.live = self.live.saturating_sub(1);
+            return Some((entry.time, entry.event));
+        }
+    }
+
+    /// Drops all events, leaving the queue empty.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(entry) = self.heap.peek() {
+            match entry.handle {
+                Some(idx) if self.cancelled[idx] => {
+                    self.heap.pop();
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), 3);
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), "keep");
+        let h = q.push_cancellable(SimTime::from_secs(0.5), "drop");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "keep");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push_cancellable(SimTime::from_secs(0.5), "x");
+        assert_eq!(q.pop().unwrap().1, "x");
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push_cancellable(SimTime::from_secs(1.0), "a");
+        q.push(SimTime::from_secs(2.0), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_secs(1.0), 1);
+        let h = q.push_cancellable(SimTime::from_secs(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # vanet-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate provides the simulation substrate used by every other crate in
+//! the `vanet` workspace: simulation time, a deterministic event queue, a
+//! scheduler, seeded random-number streams and a small statistics toolkit.
+//!
+//! The kernel is intentionally independent of any networking or mobility
+//! concept so that it can be unit-tested in isolation and reused for both the
+//! packet-level simulation (`vanet-net`) and the mobility updates
+//! (`vanet-mobility`).
+//!
+//! # Example
+//!
+//! ```
+//! use vanet_sim::{EventQueue, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::from_secs(2.0), "world");
+//! queue.push(SimTime::from_secs(1.0), "hello");
+//! let (t, msg) = queue.pop().unwrap();
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! assert_eq!(msg, "hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod scheduler;
+pub mod stats;
+pub mod time;
+
+pub use error::SimError;
+pub use event::{EventEntry, EventHandle, EventQueue};
+pub use ids::{FlowId, NodeId, PacketId, PacketIdAllocator, SeqNo};
+pub use rng::SimRng;
+pub use scheduler::{Clock, Scheduler};
+pub use stats::{Counter, Histogram, RunningStats, TimeWeightedAverage};
+pub use time::{SimDuration, SimTime};

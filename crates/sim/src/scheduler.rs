@@ -1,0 +1,253 @@
+//! The simulation scheduler: a clock plus an event queue.
+//!
+//! [`Scheduler`] is generic over the event payload type `E`. The owning
+//! simulation drives it with a simple loop:
+//!
+//! ```
+//! use vanet_sim::{Scheduler, SimDuration, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick(u32) }
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule_after(SimDuration::from_secs(1.0), Ev::Tick(1));
+//! sched.schedule_after(SimDuration::from_secs(2.0), Ev::Tick(2));
+//!
+//! let mut fired = Vec::new();
+//! while let Some((time, ev)) = sched.next_event() {
+//!     match ev {
+//!         Ev::Tick(n) => fired.push((time.as_secs(), n)),
+//!     }
+//! }
+//! assert_eq!(fired, vec![(1.0, 1), (2.0, 2)]);
+//! ```
+
+use crate::error::SimError;
+use crate::event::{EventHandle, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Read-only access to the current simulation time.
+pub trait Clock {
+    /// The current simulation time.
+    fn now(&self) -> SimTime;
+}
+
+/// A discrete-event scheduler combining a clock and an event queue.
+#[derive(Debug, Clone)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+    horizon: Option<SimTime>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Clock for Scheduler<E> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            horizon: None,
+        }
+    }
+
+    /// Creates a scheduler that refuses to advance past `horizon`.
+    #[must_use]
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        let mut s = Self::new();
+        s.horizon = Some(horizon);
+        s
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn processed_events(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events remain.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduledInPast`] if `time` is before the current
+    /// clock value.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> Result<(), SimError> {
+        if time < self.now {
+            return Err(SimError::ScheduledInPast {
+                now: self.now,
+                requested: time,
+            });
+        }
+        self.queue.push(time, event);
+        Ok(())
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules an event `delay` after the current time, returning a handle
+    /// that can be used to cancel it.
+    pub fn schedule_after_cancellable(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.queue.push_cancellable(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// Time of the next pending event, if any.
+    #[must_use]
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event and advances the clock to its time.
+    ///
+    /// Returns `None` when the queue is empty or the next event lies beyond
+    /// the configured horizon.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let next_time = self.queue.peek_time()?;
+        if let Some(h) = self.horizon {
+            if next_time > h {
+                return None;
+            }
+        }
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue returned an event in the past");
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
+    }
+
+    /// Advances the clock to `time` without processing events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduledInPast`] if `time` is before the clock.
+    pub fn advance_to(&mut self, time: SimTime) -> Result<(), SimError> {
+        if time < self.now {
+            return Err(SimError::ScheduledInPast {
+                now: self.now,
+                requested: time,
+            });
+        }
+        self.now = time;
+        Ok(())
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(2.0), Ev::B);
+        s.schedule_after(SimDuration::from_secs(1.0), Ev::A);
+        assert_eq!(s.now(), SimTime::ZERO);
+        let (t, e) = s.next_event().unwrap();
+        assert_eq!(e, Ev::A);
+        assert_eq!(t, SimTime::from_secs(1.0));
+        assert_eq!(s.now(), t);
+        let (t, e) = s.next_event().unwrap();
+        assert_eq!(e, Ev::B);
+        assert_eq!(s.now(), t);
+        assert!(s.next_event().is_none());
+        assert_eq!(s.processed_events(), 2);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_rejected() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(5.0), Ev::A);
+        s.next_event();
+        let err = s.schedule_at(SimTime::from_secs(1.0), Ev::B).unwrap_err();
+        assert!(matches!(err, SimError::ScheduledInPast { .. }));
+    }
+
+    #[test]
+    fn horizon_stops_processing() {
+        let mut s = Scheduler::with_horizon(SimTime::from_secs(1.5));
+        s.schedule_after(SimDuration::from_secs(1.0), Ev::A);
+        s.schedule_after(SimDuration::from_secs(2.0), Ev::B);
+        assert!(s.next_event().is_some());
+        assert!(s.next_event().is_none(), "event beyond horizon must not fire");
+        assert_eq!(s.pending_events(), 1);
+    }
+
+    #[test]
+    fn cancellable_events() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_after_cancellable(SimDuration::from_secs(1.0), Ev::A);
+        s.schedule_after(SimDuration::from_secs(2.0), Ev::C);
+        assert!(s.cancel(h));
+        let (_, e) = s.next_event().unwrap();
+        assert_eq!(e, Ev::C);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        s.advance_to(SimTime::from_secs(10.0)).unwrap();
+        assert_eq!(s.now(), SimTime::from_secs(10.0));
+        assert!(s.advance_to(SimTime::from_secs(5.0)).is_err());
+    }
+
+    #[test]
+    fn is_idle_and_clear() {
+        let mut s = Scheduler::new();
+        assert!(s.is_idle());
+        s.schedule_after(SimDuration::from_secs(1.0), Ev::A);
+        assert!(!s.is_idle());
+        s.clear();
+        assert!(s.is_idle());
+    }
+}

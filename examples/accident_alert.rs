@@ -1,0 +1,42 @@
+//! Safety application: an accident alert must reach the vehicles approaching
+//! the crash site. Dissemination-style traffic is where connectivity-based
+//! flooding shines (the paper calls it "a good solution for traffic
+//! notification applications") and where zone-restricted flooding removes
+//! most of the redundant rebroadcasts.
+//!
+//! Run with: `cargo run --release --example accident_alert`
+
+use vanet::prelude::*;
+
+fn main() {
+    // An urban grid around the accident site; every flow models an alert
+    // stream from the witnessing vehicle to one approaching vehicle.
+    let scenario = Scenario::urban(70)
+        .with_name("accident-alert")
+        .with_seed(11)
+        .with_flows(5)
+        .with_duration(SimDuration::from_secs(60.0));
+
+    println!("Accident-alert dissemination on a 70-vehicle urban grid\n");
+    println!("{}", Report::table_header());
+    let mut rows = Vec::new();
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Biswas,
+        ProtocolKind::Zone,
+        ProtocolKind::Greedy,
+    ] {
+        let report = run_scenario(scenario.clone(), kind);
+        println!("{}", report.table_row());
+        rows.push(report);
+    }
+
+    let flooding = &rows[0];
+    let zone = &rows[2];
+    println!(
+        "\nZone-restricted flooding reaches {:.0}% of the alerts that pure flooding \
+         reaches while transmitting {:.1}x fewer frames per delivered alert.",
+        100.0 * zone.delivery_ratio / flooding.delivery_ratio.max(1e-9),
+        flooding.transmissions_per_delivered / zone.transmissions_per_delivered.max(1e-9)
+    );
+}

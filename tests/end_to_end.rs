@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: every protocol family delivers data on a
+//! well-connected scenario, runs are deterministic, infrastructure rescues
+//! sparse traffic, and the broadcast storm is visible at high density.
+
+use vanet::prelude::*;
+
+fn dense_highway(seed: u64) -> Scenario {
+    Scenario::highway(80)
+        .with_seed(seed)
+        .with_flows(3)
+        .with_duration(SimDuration::from_secs(25.0))
+}
+
+fn assert_delivers(kind: ProtocolKind, scenario: Scenario, min_ratio: f64) -> Report {
+    let report = run_scenario(scenario, kind);
+    assert!(report.data_sent > 0, "{kind}: no traffic generated");
+    assert!(
+        report.delivery_ratio >= min_ratio,
+        "{kind}: delivery ratio {:.3} below {min_ratio}",
+        report.delivery_ratio
+    );
+    report
+}
+
+#[test]
+fn connectivity_protocols_deliver_on_dense_highway() {
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Biswas,
+        ProtocolKind::Aodv,
+        ProtocolKind::Dsdv,
+    ] {
+        assert_delivers(kind, dense_highway(7), 0.10);
+    }
+}
+
+#[test]
+fn mobility_protocols_deliver_on_dense_highway() {
+    for kind in [ProtocolKind::Pbr, ProtocolKind::Taleb, ProtocolKind::Abedi] {
+        assert_delivers(kind, dense_highway(7), 0.10);
+    }
+}
+
+#[test]
+fn geographic_protocols_deliver_on_dense_highway() {
+    for kind in [ProtocolKind::Greedy, ProtocolKind::Zone, ProtocolKind::Rover] {
+        assert_delivers(kind, dense_highway(7), 0.10);
+    }
+}
+
+#[test]
+fn probability_protocols_deliver_on_dense_highway() {
+    for kind in [
+        ProtocolKind::Yan,
+        ProtocolKind::YanTbpss,
+        ProtocolKind::Car,
+        ProtocolKind::Rear,
+        ProtocolKind::GvGrid,
+    ] {
+        assert_delivers(kind, dense_highway(7), 0.10);
+    }
+}
+
+#[test]
+fn infrastructure_protocols_deliver_with_their_infrastructure() {
+    // DRR needs RSUs, the bus ferry needs buses.
+    let with_rsus = dense_highway(7).with_rsus(4);
+    assert_delivers(ProtocolKind::Drr, with_rsus, 0.10);
+    let with_buses = dense_highway(7).with_buses(4);
+    assert_delivers(ProtocolKind::Bus, with_buses, 0.05);
+}
+
+#[test]
+fn same_seed_is_bit_for_bit_reproducible() {
+    let a = run_scenario(dense_highway(13), ProtocolKind::Pbr);
+    let b = run_scenario(dense_highway(13), ProtocolKind::Pbr);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rsus_rescue_sparse_traffic() {
+    let sparse = Scenario::highway_regime(TrafficRegime::Sparse)
+        .with_seed(5)
+        .with_flows(5)
+        .with_duration(SimDuration::from_secs(60.0));
+    let ad_hoc = run_scenario(sparse.clone(), ProtocolKind::Aodv);
+    let assisted = run_scenario(sparse.with_rsus(8), ProtocolKind::Drr);
+    assert!(
+        assisted.delivery_ratio > ad_hoc.delivery_ratio,
+        "RSU-assisted routing ({:.2}) must beat pure ad hoc ({:.2}) in sparse traffic",
+        assisted.delivery_ratio,
+        ad_hoc.delivery_ratio
+    );
+}
+
+#[test]
+fn broadcast_storm_grows_superlinearly_with_density() {
+    // Transmissions per delivered packet for flooding at two densities.
+    let small = run_scenario(
+        Scenario::highway(30)
+            .with_seed(3)
+            .with_flows(2)
+            .with_duration(SimDuration::from_secs(20.0)),
+        ProtocolKind::Flooding,
+    );
+    let large = run_scenario(
+        Scenario::highway(120)
+            .with_seed(3)
+            .with_flows(2)
+            .with_duration(SimDuration::from_secs(20.0)),
+        ProtocolKind::Flooding,
+    );
+    assert!(
+        large.data_transmissions > small.data_transmissions * 2,
+        "flooding transmissions must grow with density ({} vs {})",
+        large.data_transmissions,
+        small.data_transmissions
+    );
+}
+
+#[test]
+fn zone_flooding_cuts_redundant_transmissions() {
+    let scenario = Scenario::urban(60)
+        .with_seed(9)
+        .with_flows(3)
+        .with_duration(SimDuration::from_secs(25.0));
+    let flooding = run_scenario(scenario.clone(), ProtocolKind::Flooding);
+    let zone = run_scenario(scenario, ProtocolKind::Zone);
+    assert!(flooding.data_sent == zone.data_sent);
+    assert!(
+        zone.data_transmissions < flooding.data_transmissions,
+        "zone-restricted flooding must transmit less ({} vs {})",
+        zone.data_transmissions,
+        flooding.data_transmissions
+    );
+}
+
+#[test]
+fn reports_render_as_table_and_csv() {
+    let report = run_scenario(
+        Scenario::highway(25)
+            .with_seed(2)
+            .with_flows(2)
+            .with_duration(SimDuration::from_secs(15.0)),
+        ProtocolKind::Greedy,
+    );
+    assert!(report.table_row().contains("Greedy"));
+    assert_eq!(
+        Report::csv_header().split(',').count(),
+        report.csv_row().split(',').count()
+    );
+}
