@@ -4,15 +4,26 @@ use vanet_bench::{fig2_discovery, Effort};
 fn main() {
     let effort = effort_from_args();
     println!("Figure 2 — connectivity-based discovery (AODV RREQ/RREP) vs network size\n");
-    println!("{:>9} {:>10} {:>12} {:>8} {:>10}", "vehicles", "ctrl_pkts", "ctrl/dlvd", "pdr", "delay_ms");
+    println!(
+        "{:>9} {:>10} {:>12} {:>8} {:>10}",
+        "vehicles", "ctrl_pkts", "ctrl/dlvd", "pdr", "delay_ms"
+    );
     for (n, r) in fig2_discovery(effort) {
         println!(
             "{:>9} {:>10} {:>12.1} {:>8.3} {:>10.1}",
-            n, r.control_packets, r.control_per_delivered, r.delivery_ratio, r.avg_delay_s * 1e3
+            n,
+            r.control_packets,
+            r.control_per_delivered,
+            r.delivery_ratio,
+            r.avg_delay_s * 1e3
         );
     }
 }
 
 fn effort_from_args() -> Effort {
-    if std::env::args().any(|a| a == "--full") { Effort::Full } else { Effort::Quick }
+    if std::env::args().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    }
 }

@@ -2,7 +2,10 @@
 //! effect on link duration.
 fn main() {
     println!("Figure 4 — same-direction vs opposite-direction link duration\n");
-    println!("{:>10} {:>16} {:>20}", "speed_mps", "same_dir_life_s", "opposite_dir_life_s");
+    println!(
+        "{:>10} {:>16} {:>20}",
+        "speed_mps", "same_dir_life_s", "opposite_dir_life_s"
+    );
     for p in vanet_bench::fig4_direction() {
         println!(
             "{:>10.0} {:>16.1} {:>20.1}",

@@ -2,13 +2,23 @@
 use vanet_bench::{fig5_rsu, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--full") { Effort::Full } else { Effort::Quick };
+    let effort = if std::env::args().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
     println!("Figure 5 — road-side-unit assisted routing in sparse traffic\n");
-    println!("{:>16} {:>8} {:>10} {:>10}", "configuration", "pdr", "delay_ms", "ctrl_pkts");
+    println!(
+        "{:>16} {:>8} {:>10} {:>10}",
+        "configuration", "pdr", "delay_ms", "ctrl_pkts"
+    );
     for (label, r) in fig5_rsu(effort) {
         println!(
             "{:>16} {:>8.3} {:>10.1} {:>10}",
-            label, r.delivery_ratio, r.avg_delay_s * 1e3, r.control_packets
+            label,
+            r.delivery_ratio,
+            r.avg_delay_s * 1e3,
+            r.control_packets
         );
     }
 }

@@ -2,13 +2,24 @@
 use vanet_bench::{fig6_geographic, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--full") { Effort::Full } else { Effort::Quick };
+    let effort = if std::env::args().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
     println!("Figure 6 — geographic / zone routing on the urban grid\n");
-    println!("{:>10} {:>8} {:>12} {:>12} {:>10}", "protocol", "pdr", "data_tx", "dupl_deliv", "delay_ms");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>10}",
+        "protocol", "pdr", "data_tx", "dupl_deliv", "delay_ms"
+    );
     for r in fig6_geographic(effort) {
         println!(
             "{:>10} {:>8.3} {:>12} {:>12} {:>10.1}",
-            r.protocol, r.delivery_ratio, r.data_transmissions, r.duplicate_deliveries, r.avg_delay_s * 1e3
+            r.protocol,
+            r.delivery_ratio,
+            r.data_transmissions,
+            r.duplicate_deliveries,
+            r.avg_delay_s * 1e3
         );
     }
 }

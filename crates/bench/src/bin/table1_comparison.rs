@@ -1,11 +1,16 @@
 //! Regenerates Table I: pros/cons of the five routing categories, quantified
-//! as delivery ratio, delay, overhead and route breaks per traffic regime.
-use vanet_bench::{render, table1, Effort};
+//! as delivery ratio, delay, overhead and route breaks per traffic regime —
+//! now with replication statistics (mean ± 95% CI) from the campaign engine.
+use vanet_bench::{table1_campaign, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--full") { Effort::Full } else { Effort::Quick };
+    let effort = if std::env::args().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
     println!("Table I — representative protocol per category, three traffic regimes\n");
-    print!("{}", render(&table1(effort)));
+    print!("{}", vanet_runner::render_table(&table1_campaign(effort)));
     println!("\nExpected qualitative shape (paper):");
     println!("  connectivity: simple but overhead / broadcast storm at density");
     println!("  mobility:     reliable in normal traffic, degraded in sparse & congested");

@@ -9,18 +9,25 @@
 //! All generators accept a [`Effort`] knob: `Quick` keeps runs short enough
 //! for CI and Criterion; `Full` produces the numbers recorded in
 //! `EXPERIMENTS.md`.
+//!
+//! Every simulation-backed generator executes through the `vanet-runner`
+//! campaign engine, so figure regeneration parallelises across all available
+//! cores while staying byte-identical to a serial run; the per-cell
+//! [`vanet_runner::Summary`] statistics are available via the `*_campaign`
+//! variants, with the legacy mean-`Report` return types kept for the
+//! binaries and Criterion benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use vanet_core::{
-    render_table, run_averaged, run_matrix, run_scenario, ExperimentCell, ProtocolKind, Report,
-    Scenario, TrafficRegime,
+    render_table, run_scenario, ExperimentCell, ProtocolKind, Report, Scenario, TrafficRegime,
 };
 use vanet_links::direction::{same_direction, DirectionGroup};
 use vanet_links::lifetime::{link_lifetime_constant_acceleration, link_lifetime_constant_speed};
 use vanet_links::probability::expected_link_duration;
 use vanet_mobility::Vec2;
+use vanet_runner::{CampaignResults, CampaignSpec, Runner};
 use vanet_sim::SimDuration;
 
 /// How much work an experiment generator should do.
@@ -46,24 +53,6 @@ impl Effort {
             Effort::Full => 3,
         }
     }
-
-    /// The highway scenario used for one of Table I's traffic regimes: the
-    /// full-effort version uses the paper-scale densities, the quick version
-    /// scales the population down so CI and Criterion stay fast while keeping
-    /// the sparse < normal < congested ordering.
-    fn regime_scenario(self, regime: TrafficRegime) -> Scenario {
-        match self {
-            Effort::Full => Scenario::highway_regime(regime),
-            Effort::Quick => {
-                let vehicles = match regime {
-                    TrafficRegime::Sparse => 10,
-                    TrafficRegime::Normal => 40,
-                    TrafficRegime::Congested => 90,
-                };
-                Scenario::highway(vehicles).with_name(format!("quick-{regime}"))
-            }
-        }
-    }
 }
 
 /// Figure 1 — the taxonomy, rendered as one line per category.
@@ -77,19 +66,22 @@ pub fn fig1_taxonomy() -> Vec<String> {
 /// storm behind Fig. 2's flood).
 #[must_use]
 pub fn fig2_discovery(effort: Effort) -> Vec<(usize, Report)> {
-    let sizes: &[usize] = match effort {
-        Effort::Quick => &[20, 40],
-        Effort::Full => &[20, 40, 80, 120, 160],
-    };
-    sizes
+    // Single source of truth: the runner catalog defines the Fig. 2 grid;
+    // only the replication count is an Effort concern of this crate.
+    let spec = vanet_runner::campaign_by_name("fig2", effort == Effort::Full)
+        .expect("fig2 is a catalog campaign")
+        .replications(effort.seeds());
+    let sizes: Vec<usize> = spec
+        .scenarios
         .iter()
-        .map(|&n| {
-            let scenario = Scenario::highway(n)
-                .with_name(format!("fig2-{n}"))
-                .with_flows(2)
-                .with_duration(effort.duration());
-            (n, run_averaged(&scenario, ProtocolKind::Aodv, effort.seeds()))
-        })
+        .map(|(_, s)| s.vehicle_count())
+        .collect();
+    Runner::new()
+        .run(&spec)
+        .cells
+        .iter()
+        .zip(sizes)
+        .map(|(cell, n)| (n, cell.mean_report()))
         .collect()
 }
 
@@ -200,26 +192,36 @@ pub fn fig5_rsu(effort: Effort) -> Vec<(String, Report)> {
         .with_flows(5)
         .with_seed(5)
         .with_duration(effort.duration());
-    let mut rows = Vec::new();
-    rows.push((
-        "AODV / 0 RSUs".to_owned(),
-        run_averaged(&base.clone().with_name("fig5-aodv"), ProtocolKind::Aodv, effort.seeds()),
-    ));
     let rsu_counts: &[usize] = match effort {
         Effort::Quick => &[4],
         Effort::Full => &[2, 4, 8],
     };
+    // AODV without infrastructure and DRR with increasing RSU counts are two
+    // single-protocol campaigns sharing one runner.
+    let runner = Runner::new();
+    let aodv = runner.run(
+        &CampaignSpec::new("fig5-aodv")
+            .scenario("AODV / 0 RSUs", base.clone().with_name("fig5-aodv"))
+            .protocols([ProtocolKind::Aodv])
+            .replications(effort.seeds()),
+    );
+    let mut drr_spec = CampaignSpec::new("fig5-drr")
+        .protocols([ProtocolKind::Drr])
+        .replications(effort.seeds());
     for &rsus in rsu_counts {
-        let scenario = base
-            .clone()
-            .with_rsus(rsus)
-            .with_name(format!("fig5-drr-{rsus}"));
-        rows.push((
+        drr_spec = drr_spec.scenario(
             format!("DRR / {rsus} RSUs"),
-            run_averaged(&scenario, ProtocolKind::Drr, effort.seeds()),
-        ));
+            base.clone()
+                .with_rsus(rsus)
+                .with_name(format!("fig5-drr-{rsus}")),
+        );
     }
-    rows
+    let drr = runner.run(&drr_spec);
+    aodv.cells
+        .iter()
+        .chain(drr.cells.iter())
+        .map(|cell| (cell.label.clone(), cell.mean_report()))
+        .collect()
 }
 
 /// Figure 6 — geographic/zone routing on the urban grid: duplicate data
@@ -227,36 +229,50 @@ pub fn fig5_rsu(effort: Effort) -> Vec<(String, Report)> {
 /// greedy forwarding.
 #[must_use]
 pub fn fig6_geographic(effort: Effort) -> Vec<Report> {
-    let scenario = Scenario::urban(match effort {
-        Effort::Quick => 40,
-        Effort::Full => 80,
-    })
-    .with_name("fig6-urban")
-    .with_flows(4)
-    .with_duration(effort.duration());
-    [ProtocolKind::Flooding, ProtocolKind::Zone, ProtocolKind::Greedy]
-        .into_iter()
-        .map(|kind| run_averaged(&scenario, kind, effort.seeds()))
+    // Single source of truth: the runner catalog defines the Fig. 6 grid.
+    let spec = vanet_runner::campaign_by_name("fig6", effort == Effort::Full)
+        .expect("fig6 is a catalog campaign")
+        .replications(effort.seeds());
+    Runner::new()
+        .run(&spec)
+        .cells
+        .iter()
+        .map(vanet_runner::CellSummary::mean_report)
         .collect()
 }
 
+/// The Table-I campaign spec: one representative protocol per category over
+/// the three traffic regimes.
+#[must_use]
+pub fn table1_spec(effort: Effort) -> CampaignSpec {
+    // Single source of truth: the runner catalog defines the Table-I grid;
+    // only the replication count is an Effort concern of this crate.
+    vanet_runner::campaign_by_name("table1", effort == Effort::Full)
+        .expect("table1 is a catalog campaign")
+        .replications(effort.seeds())
+}
+
+/// Table I with full per-cell statistics (mean, std-dev, min/max, 95% CI).
+#[must_use]
+pub fn table1_campaign(effort: Effort) -> CampaignResults {
+    Runner::new().run(&table1_spec(effort))
+}
+
 /// Table I — the category comparison over the three traffic regimes, one
-/// representative protocol per category.
+/// representative protocol per category, reduced to mean reports.
 #[must_use]
 pub fn table1(effort: Effort) -> Vec<ExperimentCell> {
-    let scenarios: Vec<(String, Scenario)> = TrafficRegime::ALL
+    let results = table1_campaign(effort);
+    results
+        .cells
         .iter()
-        .map(|&regime| {
-            (
-                regime.to_string(),
-                effort
-                    .regime_scenario(regime)
-                    .with_flows(4)
-                    .with_duration(effort.duration()),
-            )
+        .map(|cell| ExperimentCell {
+            protocol: cell.protocol,
+            label: cell.label.clone(),
+            report: cell.mean_report(),
+            seeds: cell.summary.replications,
         })
-        .collect();
-    run_matrix(&scenarios, &ProtocolKind::REPRESENTATIVES, effort.seeds())
+        .collect()
 }
 
 /// Renders Table I cells as text (re-exported convenience).
@@ -353,5 +369,20 @@ mod tests {
         assert_eq!(cells.len(), 15);
         let text = render(&cells);
         assert!(text.contains("AODV") && text.contains("DRR") && text.contains("Yan"));
+    }
+
+    #[test]
+    fn table1_through_runner_matches_serial_matrix() {
+        // The campaign engine's reduction must be byte-identical to the
+        // single-threaded run_matrix path.
+        let spec = table1_spec(Effort::Quick);
+        let from_runner = table1(Effort::Quick);
+        let serial = vanet_core::run_matrix_with_workers(
+            &spec.scenarios,
+            &spec.protocols,
+            Effort::Quick.seeds(),
+            1,
+        );
+        assert_eq!(from_runner, serial);
     }
 }

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! downstream users with the real serde can serialise them, but nothing inside
+//! the workspace calls the serde traits. These derives therefore expand to
+//! nothing; they exist only so the `#[derive(Serialize, Deserialize)]`
+//! attributes keep compiling without network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

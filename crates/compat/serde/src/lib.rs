@@ -1,0 +1,12 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment has no access to crates.io, so this tiny local
+//! package satisfies the workspace's `use serde::{Deserialize, Serialize}`
+//! imports with no-op derive macros (see `crates/compat/serde-derive`).
+//! Swapping in the real serde is a one-line change in the workspace manifest:
+//! replace the `serde` path entry under `[workspace.dependencies]` with the
+//! crates.io version and enable its `derive` feature.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

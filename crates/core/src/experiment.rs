@@ -1,10 +1,18 @@
 //! Experiment harness: parameter sweeps, multi-seed averaging and table
 //! rendering used to regenerate the paper's figures and Table I.
+//!
+//! The sweeps here parallelise across (scenario × protocol × seed) jobs with
+//! the deterministic worker pool from `vanet_sim::pool`: every job's seed is
+//! fixed up front and results are reduced in job order, so the output is
+//! byte-identical no matter how many workers run it. Richer per-cell
+//! statistics (std-dev, min/max, confidence intervals) live in the
+//! `vanet-runner` crate, which builds on the same primitives.
 
 use crate::metrics::Report;
 use crate::scenario::Scenario;
 use crate::simulation::run_scenario;
 use crate::taxonomy::ProtocolKind;
+use vanet_sim::pool::{available_workers, parallel_map_indexed};
 
 /// A single experiment cell: one protocol on one scenario, averaged over a
 /// number of seeds.
@@ -21,18 +29,18 @@ pub struct ExperimentCell {
 }
 
 /// Averages a set of reports field by field (counts are averaged too, so the
-/// result represents a typical run).
+/// result represents a typical run). Returns `None` for an empty slice.
 #[must_use]
-pub fn average_reports(reports: &[Report]) -> Report {
-    assert!(!reports.is_empty(), "cannot average zero reports");
+pub fn average_reports(reports: &[Report]) -> Option<Report> {
+    let first = reports.first()?;
     let n = reports.len() as f64;
     let avg_u = |f: &dyn Fn(&Report) -> u64| -> u64 {
         (reports.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u64
     };
     let avg_f = |f: &dyn Fn(&Report) -> f64| -> f64 { reports.iter().map(f).sum::<f64>() / n };
-    Report {
-        protocol: reports[0].protocol.clone(),
-        scenario: reports[0].scenario.clone(),
+    Some(Report {
+        protocol: first.protocol.clone(),
+        scenario: first.scenario.clone(),
         data_sent: avg_u(&|r| r.data_sent),
         data_delivered: avg_u(&|r| r.data_delivered),
         duplicate_deliveries: avg_u(&|r| r.duplicate_deliveries),
@@ -48,41 +56,64 @@ pub fn average_reports(reports: &[Report]) -> Report {
         route_errors: avg_u(&|r| r.route_errors),
         drops: avg_u(&|r| r.drops),
         avg_neighbors: avg_f(&|r| r.avg_neighbors),
-    }
+    })
 }
 
-/// Runs `protocol` on `scenario` for `seeds` different seeds and averages.
+/// Runs `protocol` on `scenario` for `seeds` replications (seeds
+/// `scenario.seed..scenario.seed + seeds`), in parallel, and averages.
 #[must_use]
 pub fn run_averaged(scenario: &Scenario, protocol: ProtocolKind, seeds: usize) -> Report {
-    let reports: Vec<Report> = (0..seeds.max(1))
-        .map(|s| {
-            let sc = scenario.clone().with_seed(scenario.seed + s as u64);
-            run_scenario(sc, protocol)
-        })
-        .collect();
-    average_reports(&reports)
+    let seeds = seeds.max(1);
+    let reports = parallel_map_indexed(seeds, available_workers(), |s| {
+        let sc = scenario.clone().with_seed(scenario.seed + s as u64);
+        run_scenario(sc, protocol)
+    });
+    average_reports(&reports).expect("at least one replication ran")
 }
 
 /// Runs a sweep: every protocol on every scenario, `seeds` seeds each.
+///
+/// All (scenario × protocol × seed) jobs are flattened into one job list and
+/// executed on the worker pool; cells are then reduced in sweep order, so the
+/// result is identical to the serial nested loop.
 #[must_use]
 pub fn run_matrix(
     scenarios: &[(String, Scenario)],
     protocols: &[ProtocolKind],
     seeds: usize,
 ) -> Vec<ExperimentCell> {
-    let mut cells = Vec::new();
-    for (label, scenario) in scenarios {
-        for &protocol in protocols {
-            let report = run_averaged(scenario, protocol, seeds);
-            cells.push(ExperimentCell {
-                protocol,
-                label: label.clone(),
-                report,
-                seeds,
-            });
-        }
-    }
+    run_matrix_with_workers(scenarios, protocols, seeds, available_workers())
+}
+
+/// [`run_matrix`] with an explicit worker count (1 = serial).
+#[must_use]
+pub fn run_matrix_with_workers(
+    scenarios: &[(String, Scenario)],
+    protocols: &[ProtocolKind],
+    seeds: usize,
+    workers: usize,
+) -> Vec<ExperimentCell> {
+    let seeds = seeds.max(1);
+    let cells: Vec<(&String, &Scenario, ProtocolKind)> = scenarios
+        .iter()
+        .flat_map(|(label, scenario)| protocols.iter().map(move |&p| (label, scenario, p)))
+        .collect();
+    let reports = parallel_map_indexed(cells.len() * seeds, workers, |job| {
+        let (_, scenario, protocol) = cells[job / seeds];
+        let replicate = (job % seeds) as u64;
+        let sc = scenario.clone().with_seed(scenario.seed + replicate);
+        run_scenario(sc, protocol)
+    });
     cells
+        .iter()
+        .zip(reports.chunks(seeds))
+        .map(|(&(label, _, protocol), cell_reports)| ExperimentCell {
+            protocol,
+            label: label.clone(),
+            report: average_reports(cell_reports).expect("seeds >= 1"),
+            seeds,
+        })
+        .collect()
 }
 
 /// Renders a matrix of cells as a fixed-width text table, one row per cell.
@@ -125,7 +156,7 @@ mod tests {
     #[test]
     fn averaging_preserves_identity_for_single_report() {
         let r = run_averaged(&tiny(), ProtocolKind::Greedy, 1);
-        let again = average_reports(&[r.clone()]);
+        let again = average_reports(std::slice::from_ref(&r)).unwrap();
         assert_eq!(r, again);
     }
 
@@ -133,7 +164,7 @@ mod tests {
     fn averaging_two_seeds_gives_intermediate_values() {
         let a = run_scenario(tiny().with_seed(1), ProtocolKind::Greedy);
         let b = run_scenario(tiny().with_seed(2), ProtocolKind::Greedy);
-        let avg = average_reports(&[a.clone(), b.clone()]);
+        let avg = average_reports(&[a.clone(), b.clone()]).unwrap();
         let lo = a.delivery_ratio.min(b.delivery_ratio);
         let hi = a.delivery_ratio.max(b.delivery_ratio);
         assert!(avg.delivery_ratio >= lo - 1e-12 && avg.delivery_ratio <= hi + 1e-12);
@@ -155,8 +186,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero reports")]
-    fn averaging_nothing_panics() {
-        let _ = average_reports(&[]);
+    fn averaging_nothing_is_none() {
+        assert_eq!(average_reports(&[]), None);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        let scenarios = vec![
+            ("a".to_owned(), tiny()),
+            ("b".to_owned(), tiny().with_seed(5)),
+        ];
+        let protocols = [ProtocolKind::Greedy, ProtocolKind::Flooding];
+        let serial = run_matrix_with_workers(&scenarios, &protocols, 2, 1);
+        let parallel = run_matrix_with_workers(&scenarios, &protocols, 2, 4);
+        assert_eq!(serial, parallel);
     }
 }

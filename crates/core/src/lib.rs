@@ -29,7 +29,8 @@ pub mod simulation;
 pub mod taxonomy;
 
 pub use experiment::{
-    average_reports, render_csv, render_table, run_averaged, run_matrix, ExperimentCell,
+    average_reports, render_csv, render_table, run_averaged, run_matrix, run_matrix_with_workers,
+    ExperimentCell,
 };
 pub use metrics::{Metrics, Report};
 pub use scenario::{ChannelModel, RoadLayout, Scenario, TrafficRegime};

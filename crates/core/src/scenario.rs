@@ -109,9 +109,7 @@ impl Default for Scenario {
         Scenario {
             name: "default-highway".to_owned(),
             seed: 1,
-            layout: RoadLayout::Highway(
-                HighwayBuilder::new().length_m(4_000.0).vehicles(60),
-            ),
+            layout: RoadLayout::Highway(HighwayBuilder::new().length_m(4_000.0).vehicles(60)),
             radio_range_m: 250.0,
             channel: ChannelModel::UnitDisk,
             mac: MacParams::default(),
@@ -134,9 +132,7 @@ impl Scenario {
     pub fn highway(vehicles: usize) -> Self {
         Scenario {
             name: format!("highway-{vehicles}"),
-            layout: RoadLayout::Highway(
-                HighwayBuilder::new().length_m(4_000.0).vehicles(vehicles),
-            ),
+            layout: RoadLayout::Highway(HighwayBuilder::new().length_m(4_000.0).vehicles(vehicles)),
             ..Self::default()
         }
     }
@@ -166,7 +162,10 @@ impl Scenario {
         Scenario {
             name: format!("urban-{vehicles}"),
             layout: RoadLayout::Urban(
-                UrbanGridBuilder::new().blocks(4, 4).block_m(300.0).vehicles(vehicles),
+                UrbanGridBuilder::new()
+                    .blocks(4, 4)
+                    .block_m(300.0)
+                    .vehicles(vehicles),
             ),
             ..Self::default()
         }
@@ -264,12 +263,8 @@ mod tests {
 
     #[test]
     fn regimes_have_increasing_density() {
-        assert!(
-            TrafficRegime::Sparse.density_per_km() < TrafficRegime::Normal.density_per_km()
-        );
-        assert!(
-            TrafficRegime::Normal.density_per_km() < TrafficRegime::Congested.density_per_km()
-        );
+        assert!(TrafficRegime::Sparse.density_per_km() < TrafficRegime::Normal.density_per_km());
+        assert!(TrafficRegime::Normal.density_per_km() < TrafficRegime::Congested.density_per_km());
         assert_eq!(TrafficRegime::ALL.len(), 3);
         assert_eq!(TrafficRegime::Sparse.to_string(), "sparse");
     }

@@ -72,9 +72,7 @@ impl ProtocolKind {
             | ProtocolKind::Dsdv => Category::Connectivity,
             ProtocolKind::Pbr | ProtocolKind::Taleb | ProtocolKind::Abedi => Category::Mobility,
             ProtocolKind::Drr | ProtocolKind::Bus => Category::Infrastructure,
-            ProtocolKind::Greedy | ProtocolKind::Zone | ProtocolKind::Rover => {
-                Category::Geographic
-            }
+            ProtocolKind::Greedy | ProtocolKind::Zone | ProtocolKind::Rover => Category::Geographic,
             ProtocolKind::Yan
             | ProtocolKind::YanTbpss
             | ProtocolKind::Car
@@ -124,7 +122,9 @@ impl ProtocolKind {
             ProtocolKind::Zone => Box::new(Zone::new()),
             ProtocolKind::Rover => Box::new(rover()),
             ProtocolKind::Yan => Box::new(Yan::new()),
-            ProtocolKind::YanTbpss => Box::new(Yan::with_config(YanConfig::stability_constrained())),
+            ProtocolKind::YanTbpss => {
+                Box::new(Yan::with_config(YanConfig::stability_constrained()))
+            }
             ProtocolKind::Car => Box::new(car()),
             ProtocolKind::Rear => Box::new(rear()),
             ProtocolKind::GvGrid => Box::new(gvgrid()),

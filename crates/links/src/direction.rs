@@ -30,19 +30,17 @@ impl ProjectedVelocities {
     /// along the axis has no meaningful vertical component).
     #[must_use]
     pub fn same_direction_with_tolerance(&self, tolerance: f64) -> bool {
-        let horiz_ok = if self.a_horizontal.abs() <= tolerance
-            || self.b_horizontal.abs() <= tolerance
-        {
-            true
-        } else {
-            self.a_horizontal * self.b_horizontal > 0.0
-        };
-        let vert_ok =
-            if self.a_vertical.abs() <= tolerance || self.b_vertical.abs() <= tolerance {
+        let horiz_ok =
+            if self.a_horizontal.abs() <= tolerance || self.b_horizontal.abs() <= tolerance {
                 true
             } else {
-                self.a_vertical * self.b_vertical > 0.0
+                self.a_horizontal * self.b_horizontal > 0.0
             };
+        let vert_ok = if self.a_vertical.abs() <= tolerance || self.b_vertical.abs() <= tolerance {
+            true
+        } else {
+            self.a_vertical * self.b_vertical > 0.0
+        };
         horiz_ok && vert_ok
     }
 }
@@ -79,12 +77,7 @@ pub fn velocity_projection(
 /// positions and velocities: `v_ah·v_bh > 0 ∧ v_av·v_bv > 0`, with
 /// near-zero projections ignored.
 #[must_use]
-pub fn same_direction(
-    pos_a: Position,
-    vel_a: Velocity,
-    pos_b: Position,
-    vel_b: Velocity,
-) -> bool {
+pub fn same_direction(pos_a: Position, vel_a: Velocity, pos_b: Position, vel_b: Velocity) -> bool {
     velocity_projection(pos_a, vel_a, pos_b, vel_b).same_direction_with_tolerance(1e-6)
 }
 
@@ -215,10 +208,22 @@ mod tests {
 
     #[test]
     fn direction_groups() {
-        assert_eq!(DirectionGroup::of(Vec2::new(10.0, 1.0)), DirectionGroup::East);
-        assert_eq!(DirectionGroup::of(Vec2::new(-10.0, 1.0)), DirectionGroup::West);
-        assert_eq!(DirectionGroup::of(Vec2::new(1.0, 10.0)), DirectionGroup::North);
-        assert_eq!(DirectionGroup::of(Vec2::new(1.0, -10.0)), DirectionGroup::South);
+        assert_eq!(
+            DirectionGroup::of(Vec2::new(10.0, 1.0)),
+            DirectionGroup::East
+        );
+        assert_eq!(
+            DirectionGroup::of(Vec2::new(-10.0, 1.0)),
+            DirectionGroup::West
+        );
+        assert_eq!(
+            DirectionGroup::of(Vec2::new(1.0, 10.0)),
+            DirectionGroup::North
+        );
+        assert_eq!(
+            DirectionGroup::of(Vec2::new(1.0, -10.0)),
+            DirectionGroup::South
+        );
         assert_eq!(DirectionGroup::of(Vec2::ZERO), DirectionGroup::East);
         assert!(DirectionGroup::same_group(
             Vec2::new(10.0, 1.0),

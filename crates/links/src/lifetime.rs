@@ -415,8 +415,7 @@ mod tests {
     #[test]
     fn numeric_matches_closed_form_constant_speed() {
         let closed = link_lifetime_constant_speed(-50.0, 30.0, 25.0, R);
-        let numeric =
-            link_lifetime_numeric(-50.0, |_| 30.0, |_| 25.0, R, 0.01, 1_000.0);
+        let numeric = link_lifetime_numeric(-50.0, |_| 30.0, |_| 25.0, R, 0.01, 1_000.0);
         assert!((closed.duration_s - numeric.duration_s).abs() < 0.02);
         assert_eq!(closed.side, numeric.side);
     }
@@ -424,14 +423,7 @@ mod tests {
     #[test]
     fn numeric_matches_closed_form_acceleration() {
         let closed = link_lifetime_constant_acceleration(0.0, 30.0, 30.0, 1.0, 0.0, R);
-        let numeric = link_lifetime_numeric(
-            0.0,
-            |t| 30.0 + 1.0 * t,
-            |_| 30.0,
-            R,
-            0.005,
-            1_000.0,
-        );
+        let numeric = link_lifetime_numeric(0.0, |t| 30.0 + 1.0 * t, |_| 30.0, R, 0.005, 1_000.0);
         assert!((closed.duration_s - numeric.duration_s).abs() < 0.02);
     }
 

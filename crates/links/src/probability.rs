@@ -175,7 +175,11 @@ pub fn link_availability(separation: f64, mean: f64, std: f64, range: f64, t: f6
     }
     let drift = d0 + mean * t;
     if std == 0.0 {
-        return if (-range..=range).contains(&drift) { 1.0 } else { 0.0 };
+        return if (-range..=range).contains(&drift) {
+            1.0
+        } else {
+            0.0
+        };
     }
     let sigma_t = std * t;
     let upper = (range - drift) / sigma_t;
@@ -196,11 +200,7 @@ pub fn link_availability(separation: f64, mean: f64, std: f64, range: f64, t: f6
 ///
 /// Panics if any argument is negative or `range_m == 0`.
 #[must_use]
-pub fn segment_connectivity_probability(
-    density_per_m: f64,
-    length_m: f64,
-    range_m: f64,
-) -> f64 {
+pub fn segment_connectivity_probability(density_per_m: f64, length_m: f64, range_m: f64) -> f64 {
     assert!(density_per_m >= 0.0, "density must be non-negative");
     assert!(length_m >= 0.0, "length must be non-negative");
     assert!(range_m > 0.0, "range must be positive");
@@ -330,7 +330,10 @@ mod tests {
         assert_eq!(segment_connectivity_probability(0.01, 100.0, 250.0), 1.0);
         assert_eq!(segment_connectivity_probability(0.0, 2_000.0, 250.0), 0.0);
         // Expected vehicles < 2 cannot bridge the segment.
-        assert_eq!(segment_connectivity_probability(0.0005, 2_000.0, 250.0), 0.0);
+        assert_eq!(
+            segment_connectivity_probability(0.0005, 2_000.0, 250.0),
+            0.0
+        );
     }
 
     #[test]

@@ -173,7 +173,10 @@ impl LogNormal {
     /// deviation `log_sigma`.
     #[must_use]
     pub fn new(log_mu: f64, log_sigma: f64) -> Self {
-        assert!(log_sigma.is_finite() && log_sigma >= 0.0, "sigma must be >= 0");
+        assert!(
+            log_sigma.is_finite() && log_sigma >= 0.0,
+            "sigma must be >= 0"
+        );
         LogNormal { log_mu, log_sigma }
     }
 }
@@ -319,7 +322,10 @@ impl Gamma {
     /// Panics if either parameter is not positive.
     #[must_use]
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "gamma parameters must be positive"
+        );
         Gamma { shape, scale }
     }
 }

@@ -306,9 +306,7 @@ impl HighwayModel {
             .collect();
         let mut best: Option<(usize, f64)> = None;
         for &cand in &candidates {
-            let gap = self
-                .leader_of(idx, cand)
-                .map_or(f64::INFINITY, |l| l.gap);
+            let gap = self.leader_of(idx, cand).map_or(f64::INFINITY, |l| l.gap);
             if gap > 30.0 {
                 match best {
                     Some((_, g)) if g >= gap => {}
@@ -391,8 +389,7 @@ impl MobilityModel for HighwayModel {
     }
 
     fn bounds(&self) -> RegionBounds {
-        let half_width =
-            self.config.lane_width_m * (self.config.lanes_per_direction as f64 + 1.0);
+        let half_width = self.config.lane_width_m * (self.config.lanes_per_direction as f64 + 1.0);
         RegionBounds::new(
             Position::new(0.0, -half_width),
             Position::new(self.config.length_m, half_width),
@@ -454,7 +451,10 @@ mod tests {
         let east = hw.states().iter().filter(|s| s.velocity.x > 0.0).count();
         let west = hw.states().iter().filter(|s| s.velocity.x < 0.0).count();
         assert_eq!(east + west, 60);
-        assert!(east > 0 && west > 0, "both carriageways should be populated");
+        assert!(
+            east > 0 && west > 0,
+            "both carriageways should be populated"
+        );
     }
 
     #[test]

@@ -195,9 +195,7 @@ impl RoadNetwork {
     pub fn segments_at(&self, point: Position, tol: f64) -> Vec<usize> {
         self.segments
             .iter()
-            .filter(|s| {
-                (s.start - point).norm() <= tol || (s.end - point).norm() <= tol
-            })
+            .filter(|s| (s.start - point).norm() <= tol || (s.end - point).norm() <= tol)
             .map(|s| s.id)
             .collect()
     }
@@ -267,14 +265,7 @@ mod tests {
     use super::*;
 
     fn seg() -> RoadSegment {
-        RoadSegment::new(
-            0,
-            Vec2::new(0.0, 0.0),
-            Vec2::new(100.0, 0.0),
-            2,
-            4.0,
-            30.0,
-        )
+        RoadSegment::new(0, Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0), 2, 4.0, 30.0)
     }
 
     #[test]

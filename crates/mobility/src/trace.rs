@@ -118,7 +118,11 @@ impl MobilityTrace {
     #[must_use]
     pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
         let first = self.samples.first()?.time;
-        let last = self.samples.iter().map(|s| s.time).fold(first, SimTime::max);
+        let last = self
+            .samples
+            .iter()
+            .map(|s| s.time)
+            .fold(first, SimTime::max);
         Some((first, last))
     }
 }
@@ -164,15 +168,21 @@ mod tests {
             position: Vec2::new(100.0, 0.0),
             velocity: Vec2::new(10.0, 0.0),
         });
-        let mid = trace.position_at(NodeId(1), SimTime::from_secs(5.0)).unwrap();
+        let mid = trace
+            .position_at(NodeId(1), SimTime::from_secs(5.0))
+            .unwrap();
         assert!((mid.x - 50.0).abs() < 1e-9);
         // Clamping outside the recorded span.
         assert_eq!(
-            trace.position_at(NodeId(1), SimTime::from_secs(-5.0)).unwrap(),
+            trace
+                .position_at(NodeId(1), SimTime::from_secs(-5.0))
+                .unwrap(),
             Vec2::new(0.0, 0.0)
         );
         assert_eq!(
-            trace.position_at(NodeId(1), SimTime::from_secs(50.0)).unwrap(),
+            trace
+                .position_at(NodeId(1), SimTime::from_secs(50.0))
+                .unwrap(),
             Vec2::new(100.0, 0.0)
         );
         assert!(trace.position_at(NodeId(2), SimTime::ZERO).is_none());

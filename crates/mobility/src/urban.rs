@@ -310,10 +310,8 @@ impl MobilityModel for UrbanGridModel {
                 if remaining < to_next || to_next <= 0.0 {
                     let unit = v.heading.unit();
                     let new_pos = v.position + unit * remaining;
-                    self.vehicles[idx].position = Position::new(
-                        new_pos.x.clamp(0.0, width),
-                        new_pos.y.clamp(0.0, height),
-                    );
+                    self.vehicles[idx].position =
+                        Position::new(new_pos.x.clamp(0.0, width), new_pos.y.clamp(0.0, height));
                     break;
                 }
                 // Advance to the intersection, then possibly turn.
@@ -328,7 +326,10 @@ impl MobilityModel for UrbanGridModel {
                     let candidate = self.turn(self.vehicles[idx].heading, rng);
                     // Do not head straight off the grid: reverse instead.
                     let probe = snapped + candidate.unit() * (block * 0.5);
-                    if probe.x < -1.0 || probe.x > width + 1.0 || probe.y < -1.0 || probe.y > height + 1.0
+                    if probe.x < -1.0
+                        || probe.x > width + 1.0
+                        || probe.y < -1.0
+                        || probe.y > height + 1.0
                     {
                         candidate.reversed()
                     } else {
@@ -400,7 +401,11 @@ mod tests {
         }
         let b = m.bounds();
         for s in m.states() {
-            assert!(b.contains(s.position), "vehicle left the grid: {}", s.position);
+            assert!(
+                b.contains(s.position),
+                "vehicle left the grid: {}",
+                s.position
+            );
         }
     }
 
@@ -435,7 +440,10 @@ mod tests {
             .zip(&before)
             .filter(|(s, b)| s.heading != **b)
             .count();
-        assert!(changed > 5, "some vehicles should have turned, got {changed}");
+        assert!(
+            changed > 5,
+            "some vehicles should have turned, got {changed}"
+        );
     }
 
     #[test]

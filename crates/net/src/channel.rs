@@ -187,8 +187,7 @@ impl PropagationModel for LogNormalShadowing {
         if self.sigma_db == 0.0 {
             return self.mean.reception_probability(distance_m);
         }
-        let margin_db =
-            self.mean.received_power_dbm(distance_m) - self.mean.threshold_dbm();
+        let margin_db = self.mean.received_power_dbm(distance_m) - self.mean.threshold_dbm();
         std_normal_cdf(margin_db / self.sigma_db)
     }
 
@@ -229,7 +228,10 @@ mod tests {
     fn shadowing_probability_is_half_at_nominal_range() {
         let m = LogNormalShadowing::new(250.0, 2.7, 4.0);
         let p = m.reception_probability(250.0);
-        assert!((p - 0.5).abs() < 1e-3, "P at nominal range should be 0.5, got {p}");
+        assert!(
+            (p - 0.5).abs() < 1e-3,
+            "P at nominal range should be 0.5, got {p}"
+        );
         assert!(m.reception_probability(50.0) > 0.99);
         assert!(m.reception_probability(600.0) < 0.05);
     }

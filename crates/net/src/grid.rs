@@ -1,0 +1,189 @@
+//! A uniform-grid spatial index over node positions.
+//!
+//! [`Medium::transmit`](crate::Medium::transmit) historically scanned *every*
+//! node in the simulation for each frame, so per-transmission cost grew with
+//! total fleet size even though a frame can only reach nodes within the
+//! propagation model's maximum range. [`SpatialGrid`] hashes nodes into square
+//! cells sized to that range; a range query then inspects only the 3×3 block
+//! of cells around the transmitter, making the cost proportional to the local
+//! node density instead of the global population.
+//!
+//! Queries return candidates sorted by [`NodeId`], which is exactly the order
+//! the simulation driver used to iterate the full node list in. Keeping that
+//! order is what lets the indexed transmit path consume the RNG identically
+//! to the exhaustive scan and therefore reproduce its results bit for bit.
+
+use std::collections::HashMap;
+use vanet_mobility::Position;
+use vanet_sim::NodeId;
+
+/// A uniform grid of square cells indexing node positions.
+#[derive(Debug, Clone, Default)]
+pub struct SpatialGrid {
+    cell_m: f64,
+    buckets: HashMap<(i64, i64), Vec<(NodeId, Position)>>,
+    len: usize,
+}
+
+impl SpatialGrid {
+    /// Builds a grid with `cell_m`-sized cells over `nodes`.
+    ///
+    /// Pick `cell_m` equal to the largest query radius you intend to use:
+    /// [`SpatialGrid::candidates_within`] only inspects the 3×3 cell block
+    /// around the query point, which covers every point within one cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not strictly positive and finite.
+    #[must_use]
+    pub fn build(cell_m: f64, nodes: &[(NodeId, Position)]) -> Self {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "grid cell size must be positive and finite"
+        );
+        let mut buckets: HashMap<(i64, i64), Vec<(NodeId, Position)>> = HashMap::new();
+        for &(id, pos) in nodes {
+            buckets
+                .entry(Self::cell_of(cell_m, pos))
+                .or_default()
+                .push((id, pos));
+        }
+        SpatialGrid {
+            cell_m,
+            buckets,
+            len: nodes.len(),
+        }
+    }
+
+    fn cell_of(cell_m: f64, pos: Position) -> (i64, i64) {
+        (
+            (pos.x / cell_m).floor() as i64,
+            (pos.y / cell_m).floor() as i64,
+        )
+    }
+
+    /// Number of indexed nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid contains no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cell size the grid was built with, metres.
+    #[must_use]
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Every indexed node within `radius_m` of `center` — plus possibly a few
+    /// just beyond it (cell-corner over-approximation) — sorted by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_m` exceeds the grid's cell size: the 3×3 block scan
+    /// would miss nodes further than one cell away.
+    #[must_use]
+    pub fn candidates_within(&self, center: Position, radius_m: f64) -> Vec<(NodeId, Position)> {
+        assert!(
+            radius_m <= self.cell_m,
+            "query radius {radius_m} exceeds grid cell size {}",
+            self.cell_m
+        );
+        let (cx, cy) = Self::cell_of(self.cell_m, center);
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    out.extend_from_slice(bucket);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanet_mobility::geometry::distance;
+    use vanet_mobility::Vec2;
+    use vanet_sim::SimRng;
+
+    fn random_nodes(n: usize, extent: f64, seed: u64) -> Vec<(NodeId, Position)> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    NodeId(i as u32),
+                    Vec2::new(
+                        rng.uniform_range(0.0, extent),
+                        rng.uniform_range(0.0, extent),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_finds_every_node_in_range() {
+        let nodes = random_nodes(300, 3_000.0, 1);
+        let grid = SpatialGrid::build(250.0, &nodes);
+        assert_eq!(grid.len(), 300);
+        for &(_, center) in nodes.iter().step_by(17) {
+            let candidates = grid.candidates_within(center, 250.0);
+            let expect: Vec<NodeId> = nodes
+                .iter()
+                .filter(|&&(_, p)| distance(center, p) <= 250.0)
+                .map(|&(id, _)| id)
+                .collect();
+            for id in &expect {
+                assert!(
+                    candidates.iter().any(|(c, _)| c == id),
+                    "node {id:?} within range but missing from grid query"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_sorted_by_node_id() {
+        let nodes = random_nodes(120, 400.0, 2);
+        let grid = SpatialGrid::build(250.0, &nodes);
+        let candidates = grid.candidates_within(Vec2::new(200.0, 200.0), 250.0);
+        assert!(candidates.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(!candidates.is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_are_indexed() {
+        let nodes = vec![
+            (NodeId(0), Vec2::new(-10.0, -10.0)),
+            (NodeId(1), Vec2::new(-240.0, 0.0)),
+            (NodeId(2), Vec2::new(300.0, 300.0)),
+        ];
+        let grid = SpatialGrid::build(250.0, &nodes);
+        let near_origin = grid.candidates_within(Vec2::ZERO, 250.0);
+        assert!(near_origin.iter().any(|&(id, _)| id == NodeId(0)));
+        assert!(near_origin.iter().any(|&(id, _)| id == NodeId(1)));
+    }
+
+    #[test]
+    fn empty_grid_queries_are_empty() {
+        let grid = SpatialGrid::build(100.0, &[]);
+        assert!(grid.is_empty());
+        assert!(grid.candidates_within(Vec2::ZERO, 100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid cell size")]
+    fn oversized_radius_panics() {
+        let grid = SpatialGrid::build(100.0, &[]);
+        let _ = grid.candidates_within(Vec2::ZERO, 150.0);
+    }
+}

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod grid;
 pub mod mac;
 pub mod medium;
 pub mod neighbor;
 pub mod packet;
 
 pub use channel::{FreeSpacePathLoss, LogNormalShadowing, PropagationModel, UnitDisk};
+pub use grid::SpatialGrid;
 pub use mac::MacParams;
 pub use medium::{Delivery, Medium, MediumConfig, MediumStats};
 pub use neighbor::{BeaconConfig, NeighborInfo, NeighborTable};

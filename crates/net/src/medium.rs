@@ -162,16 +162,58 @@ impl Medium {
         nodes: &[(NodeId, Position)],
         rng: &mut SimRng,
     ) -> Vec<Delivery> {
+        self.begin_transmission(now, sender_pos, packet);
+        self.deliver(now, sender, sender_pos, packet, nodes, rng)
+    }
+
+    /// Like [`Medium::transmit`], but takes the candidate receivers from a
+    /// [`SpatialGrid`](crate::SpatialGrid) instead of scanning every node, so
+    /// the cost scales with local density rather than total fleet size.
+    ///
+    /// The grid must be built with a cell size of at least
+    /// [`PropagationModel::max_range`]. Candidates are processed in ascending
+    /// node-id order — the same order `transmit` sees when its `nodes` slice
+    /// is id-sorted — so both paths draw identically from `rng` and produce
+    /// identical deliveries.
+    pub fn transmit_indexed(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        sender_pos: Position,
+        packet: &Packet,
+        grid: &crate::SpatialGrid,
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        self.begin_transmission(now, sender_pos, packet);
+        let candidates = grid.candidates_within(sender_pos, self.propagation.max_range());
+        self.deliver(now, sender, sender_pos, packet, &candidates, rng)
+    }
+
+    /// Books the transmission into the contention window and the statistics.
+    fn begin_transmission(&mut self, now: SimTime, sender_pos: Position, packet: &Packet) {
         self.prune_recent(now);
-        let contenders = self.channel_load(now, sender_pos);
         self.recent.push_back((now, sender_pos));
         self.stats.transmissions.incr();
         self.stats.bytes_transmitted.add(packet.size_bytes() as u64);
+    }
 
+    /// Runs the propagation / contention / collision pipeline over the
+    /// candidate receivers, in slice order.
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        sender_pos: Position,
+        packet: &Packet,
+        nodes: &[(NodeId, Position)],
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        // `begin_transmission` has already pushed this frame into the window,
+        // so discount it when counting contenders.
+        let contenders = self.channel_load(now, sender_pos).saturating_sub(1);
         let backoff = self.config.mac.sample_backoff(contenders, rng);
         let tx_delay = self.config.mac.transmission_delay(packet.size_bytes());
-        let processing =
-            vanet_sim::SimDuration::from_secs(self.config.mac.processing_delay_s);
+        let processing = vanet_sim::SimDuration::from_secs(self.config.mac.processing_delay_s);
 
         let mut deliveries = Vec::new();
         for &(node, pos) in nodes {
@@ -290,7 +332,9 @@ mod tests {
             .collect();
         assert_eq!(intended, vec![1]);
         // Promiscuous mode: node 2 overhears.
-        assert!(deliveries.iter().any(|d| d.receiver == NodeId(2) && !d.intended));
+        assert!(deliveries
+            .iter()
+            .any(|d| d.receiver == NodeId(2) && !d.intended));
     }
 
     #[test]
@@ -336,10 +380,7 @@ mod tests {
         // Far away, the same transmissions do not count.
         assert_eq!(m.channel_load(SimTime::ZERO, Vec2::new(10_000.0, 0.0)), 0);
         // Long after, they have been pruned from the window.
-        assert_eq!(
-            m.channel_load(SimTime::from_secs(10.0), Vec2::ZERO),
-            0
-        );
+        assert_eq!(m.channel_load(SimTime::from_secs(10.0), Vec2::ZERO), 0);
     }
 
     #[test]

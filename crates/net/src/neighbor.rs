@@ -7,7 +7,7 @@
 //! packets are counted by the metrics layer like any other control packet.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vanet_mobility::geometry::distance;
 use vanet_mobility::{Position, Velocity};
 use vanet_sim::{NodeId, SimDuration, SimTime};
@@ -62,7 +62,7 @@ impl NeighborInfo {
 /// The neighbour table maintained by every node.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NeighborTable {
-    entries: HashMap<NodeId, NeighborInfo>,
+    entries: BTreeMap<NodeId, NeighborInfo>,
 }
 
 impl NeighborTable {
@@ -185,9 +185,27 @@ mod tests {
     fn table_with_three() -> NeighborTable {
         let mut t = NeighborTable::new();
         let life = SimDuration::from_secs(3.0);
-        t.observe(NodeId(1), Vec2::new(100.0, 0.0), Vec2::new(10.0, 0.0), SimTime::ZERO, life);
-        t.observe(NodeId(2), Vec2::new(200.0, 0.0), Vec2::new(-10.0, 0.0), SimTime::ZERO, life);
-        t.observe(NodeId(3), Vec2::new(50.0, 50.0), Vec2::ZERO, SimTime::ZERO, life);
+        t.observe(
+            NodeId(1),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            SimTime::ZERO,
+            life,
+        );
+        t.observe(
+            NodeId(2),
+            Vec2::new(200.0, 0.0),
+            Vec2::new(-10.0, 0.0),
+            SimTime::ZERO,
+            life,
+        );
+        t.observe(
+            NodeId(3),
+            Vec2::new(50.0, 50.0),
+            Vec2::ZERO,
+            SimTime::ZERO,
+            life,
+        );
         t
     }
 

@@ -90,10 +90,7 @@ mod tests {
         let proto = aodv();
         assert_eq!(proto.name(), "AODV");
         assert_eq!(proto.category(), Category::Connectivity);
-        assert_eq!(
-            proto.beacon_interval(),
-            Some(SimDuration::from_secs(1.0))
-        );
+        assert_eq!(proto.beacon_interval(), Some(SimDuration::from_secs(1.0)));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Machinery shared by several protocols: routing tables, duplicate caches
 //! and pending-packet buffers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use vanet_net::Packet;
 use vanet_sim::{NodeId, SeqNo, SimDuration, SimTime};
 
@@ -25,7 +25,7 @@ pub struct RouteEntry {
 /// A destination-indexed routing table with expiry.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
-    entries: HashMap<NodeId, RouteEntry>,
+    entries: BTreeMap<NodeId, RouteEntry>,
 }
 
 impl RoutingTable {
@@ -38,9 +38,7 @@ impl RoutingTable {
     /// Returns the valid (non-expired) route to `dest`, if any.
     #[must_use]
     pub fn route(&self, dest: NodeId, now: SimTime) -> Option<&RouteEntry> {
-        self.entries
-            .get(&dest)
-            .filter(|e| e.expires_at >= now)
+        self.entries.get(&dest).filter(|e| e.expires_at >= now)
     }
 
     /// Returns the route regardless of expiry.
@@ -59,8 +57,8 @@ impl RoutingTable {
                 let same_seq_better = entry.seq == existing.seq
                     && (entry.metric > existing.metric
                         || (entry.metric == existing.metric && entry.hops < existing.hops));
-                let expired = existing.expires_at < entry.expires_at
-                    && existing.expires_at == SimTime::ZERO;
+                let expired =
+                    existing.expires_at < entry.expires_at && existing.expires_at == SimTime::ZERO;
                 if fresher || same_seq_better || expired {
                     self.entries.insert(entry.destination, entry);
                     true
@@ -123,7 +121,7 @@ impl RoutingTable {
 /// ids.
 #[derive(Debug, Clone, Default)]
 pub struct SeenCache {
-    seen: HashMap<(NodeId, u64), SimTime>,
+    seen: BTreeMap<(NodeId, u64), SimTime>,
     horizon: f64,
 }
 
@@ -132,7 +130,7 @@ impl SeenCache {
     #[must_use]
     pub fn new(horizon_s: f64) -> Self {
         SeenCache {
-            seen: HashMap::new(),
+            seen: BTreeMap::new(),
             horizon: horizon_s.max(0.0),
         }
     }
@@ -172,7 +170,7 @@ impl SeenCache {
 /// Packets buffered while a route is being discovered, per destination.
 #[derive(Debug, Clone, Default)]
 pub struct PendingBuffer {
-    queues: HashMap<NodeId, VecDeque<(SimTime, Packet)>>,
+    queues: BTreeMap<NodeId, VecDeque<(SimTime, Packet)>>,
     capacity_per_destination: usize,
     max_age: SimDuration,
 }
@@ -183,7 +181,7 @@ impl PendingBuffer {
     #[must_use]
     pub fn new(capacity: usize, max_age: SimDuration) -> Self {
         PendingBuffer {
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             capacity_per_destination: capacity.max(1),
             max_age,
         }
@@ -279,8 +277,14 @@ mod tests {
     fn routing_table_upsert_prefers_fresher_seq() {
         let mut t = RoutingTable::new();
         assert!(t.upsert(entry(5, 1, 3, 1, 0.0, 10.0)));
-        assert!(!t.upsert(entry(5, 2, 2, 1, 0.0, 10.0)) || t.route_even_expired(NodeId(5)).unwrap().hops == 2);
-        assert!(t.upsert(entry(5, 3, 7, 2, 0.0, 10.0)), "fresher seq always wins");
+        assert!(
+            !t.upsert(entry(5, 2, 2, 1, 0.0, 10.0))
+                || t.route_even_expired(NodeId(5)).unwrap().hops == 2
+        );
+        assert!(
+            t.upsert(entry(5, 3, 7, 2, 0.0, 10.0)),
+            "fresher seq always wins"
+        );
         assert_eq!(t.route_even_expired(NodeId(5)).unwrap().next_hop, NodeId(3));
     }
 
@@ -288,8 +292,14 @@ mod tests {
     fn routing_table_same_seq_prefers_better_metric_or_fewer_hops() {
         let mut t = RoutingTable::new();
         t.upsert(entry(5, 1, 4, 1, 10.0, 10.0));
-        assert!(t.upsert(entry(5, 2, 4, 1, 20.0, 10.0)), "better metric replaces");
-        assert!(t.upsert(entry(5, 3, 2, 1, 20.0, 10.0)), "fewer hops replaces");
+        assert!(
+            t.upsert(entry(5, 2, 4, 1, 20.0, 10.0)),
+            "better metric replaces"
+        );
+        assert!(
+            t.upsert(entry(5, 3, 2, 1, 20.0, 10.0)),
+            "fewer hops replaces"
+        );
         assert!(!t.upsert(entry(5, 4, 5, 1, 20.0, 10.0)), "worse does not");
         assert_eq!(t.route_even_expired(NodeId(5)).unwrap().next_hop, NodeId(3));
     }
@@ -354,7 +364,11 @@ mod tests {
         let mut b = PendingBuffer::new(8, SimDuration::from_secs(5.0));
         let dest = NodeId(9);
         b.push(dest, Packet::data(NodeId(1), dest, 10), SimTime::ZERO);
-        b.push(dest, Packet::data(NodeId(1), dest, 20), SimTime::from_secs(4.0));
+        b.push(
+            dest,
+            Packet::data(NodeId(1), dest, 20),
+            SimTime::from_secs(4.0),
+        );
         // take at t=7: the first packet (age 7) is dropped, the second kept.
         let taken = b.take(dest, SimTime::from_secs(7.0));
         assert_eq!(taken.len(), 1);
@@ -364,8 +378,16 @@ mod tests {
     #[test]
     fn pending_buffer_expire() {
         let mut b = PendingBuffer::new(8, SimDuration::from_secs(5.0));
-        b.push(NodeId(9), Packet::data(NodeId(1), NodeId(9), 10), SimTime::ZERO);
-        b.push(NodeId(8), Packet::data(NodeId(1), NodeId(8), 20), SimTime::from_secs(8.0));
+        b.push(
+            NodeId(9),
+            Packet::data(NodeId(1), NodeId(9), 10),
+            SimTime::ZERO,
+        );
+        b.push(
+            NodeId(8),
+            Packet::data(NodeId(1), NodeId(8), 20),
+            SimTime::from_secs(8.0),
+        );
         let expired = b.expire(SimTime::from_secs(9.0));
         assert_eq!(expired.len(), 1);
         assert_eq!(expired[0].payload_bytes, 10);

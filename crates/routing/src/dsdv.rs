@@ -229,7 +229,9 @@ mod tests {
         let mut h = Harness::new(1);
         let first = dsdv.on_tick(&mut h.ctx(0.0));
         assert_eq!(first.len(), 1);
-        assert!(matches!(&first[0], Action::Transmit(p) if matches!(p.kind, PacketKind::TopologyUpdate { .. })));
+        assert!(
+            matches!(&first[0], Action::Transmit(p) if matches!(p.kind, PacketKind::TopologyUpdate { .. }))
+        );
         let too_soon = dsdv.on_tick(&mut h.ctx(1.0));
         assert!(too_soon.is_empty());
         let later = dsdv.on_tick(&mut h.ctx(3.0));
@@ -249,10 +251,16 @@ mod tests {
         );
         update.prev_hop = NodeId(2);
         dsdv.on_packet(&mut h.ctx(1.0), update, false);
-        let to_2 = dsdv.routing_table().route(NodeId(2), SimTime::from_secs(1.0)).unwrap();
+        let to_2 = dsdv
+            .routing_table()
+            .route(NodeId(2), SimTime::from_secs(1.0))
+            .unwrap();
         assert_eq!(to_2.next_hop, NodeId(2));
         assert_eq!(to_2.hops, 1);
-        let to_5 = dsdv.routing_table().route(NodeId(5), SimTime::from_secs(1.0)).unwrap();
+        let to_5 = dsdv
+            .routing_table()
+            .route(NodeId(5), SimTime::from_secs(1.0))
+            .unwrap();
         assert_eq!(to_5.next_hop, NodeId(2));
         assert_eq!(to_5.hops, 3);
     }
@@ -314,7 +322,11 @@ mod tests {
         let routed = dsdv.originate(&mut h.ctx(1.5), Packet::data(NodeId(1), NodeId(9), 10));
         assert!(matches!(&routed[0], Action::Transmit(p) if p.next_hop == Some(NodeId(4))));
         // Delivery at destination.
-        let deliver = dsdv.on_packet(&mut h.ctx(2.0), Packet::data(NodeId(7), NodeId(1), 10), false);
+        let deliver = dsdv.on_packet(
+            &mut h.ctx(2.0),
+            Packet::data(NodeId(7), NodeId(1), 10),
+            false,
+        );
         assert!(matches!(deliver[0], Action::Deliver(_)));
     }
 

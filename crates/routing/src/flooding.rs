@@ -3,7 +3,7 @@
 
 use crate::common::SeenCache;
 use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vanet_net::Packet;
 use vanet_sim::{PacketId, SimDuration, SimTime};
 
@@ -97,7 +97,7 @@ impl RoutingProtocol for Flooding {
 pub struct Biswas {
     seen: SeenCache,
     /// Packets awaiting implicit acknowledgement: id → (packet, deadline, retries left).
-    awaiting_ack: HashMap<PacketId, (Packet, SimTime, u8)>,
+    awaiting_ack: BTreeMap<PacketId, (Packet, SimTime, u8)>,
     retry_interval: SimDuration,
     max_retries: u8,
 }
@@ -109,7 +109,7 @@ impl Biswas {
     pub fn new() -> Self {
         Biswas {
             seen: SeenCache::new(60.0),
-            awaiting_ack: HashMap::new(),
+            awaiting_ack: BTreeMap::new(),
             retry_interval: SimDuration::from_secs(1.0),
             max_retries: 3,
         }
@@ -157,7 +157,11 @@ impl RoutingProtocol for Biswas {
         copy.next_hop = None;
         self.awaiting_ack.insert(
             copy.id,
-            (copy.clone(), ctx.now + self.retry_interval, self.max_retries),
+            (
+                copy.clone(),
+                ctx.now + self.retry_interval,
+                self.max_retries,
+            ),
         );
         vec![Action::Transmit(copy)]
     }

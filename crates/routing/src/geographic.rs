@@ -95,11 +95,7 @@ impl<S: NextHopScorer> GeoRouting<S> {
         self.carried.len()
     }
 
-    fn destination_position(
-        &self,
-        ctx: &ProtocolContext<'_>,
-        packet: &Packet,
-    ) -> Option<Position> {
+    fn destination_position(&self, ctx: &ProtocolContext<'_>, packet: &Packet) -> Option<Position> {
         packet
             .destination
             .and_then(|d| ctx.location.position_of(d))

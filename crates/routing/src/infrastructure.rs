@@ -76,7 +76,11 @@ impl Drr {
         ctx.rsu_ids
             .iter()
             .filter(|&&r| r != ctx.node)
-            .filter_map(|&r| ctx.location.position_of(r).map(|p| (r, distance(p, target))))
+            .filter_map(|&r| {
+                ctx.location
+                    .position_of(r)
+                    .map(|p| (r, distance(p, target)))
+            })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(r, _)| r)
     }
@@ -86,7 +90,11 @@ impl Drr {
         ctx.rsu_ids
             .iter()
             .filter(|&&r| r != ctx.node)
-            .filter_map(|&r| ctx.location.position_of(r).map(|p| (r, distance(p, ctx.position()))))
+            .filter_map(|&r| {
+                ctx.location
+                    .position_of(r)
+                    .map(|p| (r, distance(p, ctx.position())))
+            })
             .filter(|(_, d)| *d <= ctx.range_m)
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(r, _)| r)
@@ -470,8 +478,10 @@ mod tests {
     fn vehicle_hands_packets_to_rsu_in_range() {
         let mut h = Harness::new(0, Vec2::ZERO, VehicleKind::Car);
         h.rsus = vec![NodeId(100)];
-        h.location.set(NodeId(100), Vec2::new(150.0, 0.0), Vec2::ZERO);
-        h.location.set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(100), Vec2::new(150.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
         let mut drr = Drr::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
@@ -484,8 +494,10 @@ mod tests {
     fn rsu_ships_packets_over_backbone_to_rsu_near_destination() {
         let mut h = Harness::new(100, Vec2::ZERO, VehicleKind::RoadSideUnit);
         h.rsus = vec![NodeId(100), NodeId(101)];
-        h.location.set(NodeId(101), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
-        h.location.set(NodeId(9), Vec2::new(5_100.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(101), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(5_100.0, 0.0), Vec2::ZERO);
         let mut drr = Drr::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
@@ -502,7 +514,8 @@ mod tests {
         let mut h = Harness::new(100, Vec2::ZERO, VehicleKind::RoadSideUnit);
         h.rsus = vec![NodeId(100)];
         // Destination far away: the RSU buffers.
-        h.location.set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
         let mut drr = Drr::new();
         let buffered = {
             let mut ctx = h.ctx(1.0);
@@ -524,7 +537,8 @@ mod tests {
     fn rsu_buffer_expires_packets() {
         let mut h = Harness::new(100, Vec2::ZERO, VehicleKind::RoadSideUnit);
         h.rsus = vec![NodeId(100)];
-        h.location.set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(5_000.0, 0.0), Vec2::ZERO);
         let mut drr = Drr::new();
         {
             let mut ctx = h.ctx(1.0);

@@ -44,8 +44,8 @@ pub use common::{PendingBuffer, RouteEntry, RoutingTable, SeenCache};
 pub use dsdv::{Dsdv, DsdvConfig};
 pub use flooding::{Biswas, Flooding};
 pub use geographic::{
-    car, greedy, gvgrid, rear, Car, CarScorer, GeoConfig, GeoRouting, GreedyScorer, Greedy,
-    GvGrid, GvGridScorer, NextHopScorer, Rear, RearScorer,
+    car, greedy, gvgrid, rear, Car, CarScorer, GeoConfig, GeoRouting, Greedy, GreedyScorer, GvGrid,
+    GvGridScorer, NextHopScorer, Rear, RearScorer,
 };
 pub use infrastructure::{BusFerry, BusFerryConfig, Drr, DrrConfig};
 pub use mobility_protocols::{

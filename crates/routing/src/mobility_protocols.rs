@@ -30,13 +30,7 @@ use vanet_sim::SimDuration;
 fn predicted_link_lifetime(ctx: &ProtocolContext<'_>, packet: &Packet) -> f64 {
     match (packet.sender_position, packet.sender_velocity) {
         (Some(pos), Some(vel)) => {
-            let lt = link_lifetime_planar(
-                ctx.position(),
-                ctx.velocity(),
-                pos,
-                vel,
-                ctx.range_m,
-            );
+            let lt = link_lifetime_planar(ctx.position(), ctx.velocity(), pos, vel, ctx.range_m);
             if lt.is_finite() {
                 lt.duration_s
             } else {
@@ -303,7 +297,7 @@ mod tests {
             neighbors,
             range_m: 250.0,
             rsu_ids: &[],
-                bus_ids: &[],
+            bus_ids: &[],
             location: &NoLocationService,
             rng,
             packet_ids: ids,
@@ -324,12 +318,12 @@ mod tests {
         let opposite = rreq_with_mobility(3, Vec2::new(50.0, 4.0), Vec2::new(-30.0, 0.0));
         let m_same = policy.link_metric(&ctx, &same);
         let m_opp = policy.link_metric(&ctx, &opposite);
-        assert!(m_same > 10.0 * m_opp, "same-direction link must score much higher");
-        // Route lifetime follows the metric but is capped.
-        assert_eq!(
-            policy.route_lifetime(1_000.0),
-            SimDuration::from_secs(60.0)
+        assert!(
+            m_same > 10.0 * m_opp,
+            "same-direction link must score much higher"
         );
+        // Route lifetime follows the metric but is capped.
+        assert_eq!(policy.route_lifetime(1_000.0), SimDuration::from_secs(60.0));
         assert!(policy.route_lifetime(5.0) < SimDuration::from_secs(6.0));
         assert!(policy.preemptive_rebuild());
     }
@@ -361,9 +355,7 @@ mod tests {
         assert!(policy.should_forward_request(&ctx, &same_group));
         assert!(!policy.should_forward_request(&ctx, &other_group));
         // Cross-group links are discounted even when relayed.
-        assert!(
-            policy.link_metric(&ctx, &same_group) > policy.link_metric(&ctx, &other_group)
-        );
+        assert!(policy.link_metric(&ctx, &same_group) > policy.link_metric(&ctx, &other_group));
         // Permissive variant forwards everything.
         let permissive = TalebPolicy {
             allow_cross_group: true,

@@ -11,7 +11,7 @@
 
 use crate::common::{PendingBuffer, RouteEntry, RoutingTable, SeenCache};
 use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 use vanet_net::{GeoAddress, Packet, PacketKind};
 use vanet_sim::{NodeId, SeqNo, SimDuration, SimTime};
@@ -109,11 +109,11 @@ pub struct OnDemandRouting<P: DiscoveryPolicy> {
     my_seq: SeqNo,
     next_request_id: u64,
     /// Per-destination time of the last discovery we initiated.
-    last_discovery: HashMap<NodeId, SimTime>,
+    last_discovery: BTreeMap<NodeId, SimTime>,
     /// Best metric replied per (origin, request id) — destination side.
-    replied: HashMap<(NodeId, u64), f64>,
+    replied: BTreeMap<(NodeId, u64), f64>,
     /// Destinations with recent application traffic (for preemptive rebuild).
-    active_destinations: HashMap<NodeId, SimTime>,
+    active_destinations: BTreeMap<NodeId, SimTime>,
 }
 
 impl<P: DiscoveryPolicy> OnDemandRouting<P> {
@@ -134,9 +134,9 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             pending: PendingBuffer::new(config.pending_capacity, config.pending_max_age),
             my_seq: SeqNo(0),
             next_request_id: 0,
-            last_discovery: HashMap::new(),
-            replied: HashMap::new(),
-            active_destinations: HashMap::new(),
+            last_discovery: BTreeMap::new(),
+            replied: BTreeMap::new(),
+            active_destinations: BTreeMap::new(),
         }
     }
 
@@ -178,7 +178,8 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             });
         }
         // Remember our own request so we do not re-flood it.
-        self.rreq_seen.check_and_insert(ctx.node, request_id, ctx.now);
+        self.rreq_seen
+            .check_and_insert(ctx.node, request_id, ctx.now);
         vec![Action::Transmit(rreq)]
     }
 
@@ -399,15 +400,16 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             return actions;
         }
         // Otherwise propagate the error one more hop towards the source.
-        if packet.ttl_allows_forwarding() && packet.destination.is_some() {
-            let dest = packet.destination.expect("checked above");
+        if let (true, Some(dest)) = (packet.ttl_allows_forwarding(), packet.destination) {
             if let Some(route) = self.table.route(dest, ctx.now) {
                 let next = route.next_hop;
                 return vec![Action::Transmit(
                     ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
                 )];
             }
-            return vec![Action::Transmit(ctx.stamp(packet.forwarded_by(ctx.node, None)))];
+            return vec![Action::Transmit(
+                ctx.stamp(packet.forwarded_by(ctx.node, None)),
+            )];
         }
         Vec::new()
     }
@@ -497,11 +499,7 @@ impl<P: DiscoveryPolicy> RoutingProtocol for OnDemandRouting<P> {
         actions
     }
 
-    fn on_neighbor_lost(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        neighbor: NodeId,
-    ) -> Vec<Action> {
+    fn on_neighbor_lost(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) -> Vec<Action> {
         let affected = self.table.invalidate_next_hop(neighbor);
         if affected.is_empty() {
             return Vec::new();
@@ -567,7 +565,10 @@ mod tests {
             .enumerate()
             .map(|(i, &x)| Env::new(i as u32, x))
             .collect();
-        let protos: Vec<Aodv> = xs.iter().map(|_| Aodv::new(AodvPolicy::default())).collect();
+        let protos: Vec<Aodv> = xs
+            .iter()
+            .map(|_| Aodv::new(AodvPolicy::default()))
+            .collect();
         (envs, protos)
     }
 
@@ -594,8 +595,8 @@ mod tests {
                     if dist > 250.0 {
                         continue;
                     }
-                    let intended = packet.next_hop.is_none()
-                        || packet.next_hop == Some(envs[r].state.id);
+                    let intended =
+                        packet.next_hop.is_none() || packet.next_hop == Some(envs[r].state.id);
                     let actions = {
                         let mut ctx = envs[r].ctx(now);
                         protos[r].on_packet(&mut ctx, packet.clone(), !intended)
@@ -752,7 +753,10 @@ mod tests {
             proto.originate(&mut ctx, d2)
         };
         assert_eq!(a1.len(), 1, "first send triggers a discovery");
-        assert!(a2.is_empty(), "second send within the retry interval does not");
+        assert!(
+            a2.is_empty(),
+            "second send within the retry interval does not"
+        );
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl LocationService for NoLocationService {
 /// A location service backed by a static table of positions/velocities.
 #[derive(Debug, Clone, Default)]
 pub struct TableLocationService {
-    entries: std::collections::HashMap<NodeId, (Position, Velocity)>,
+    entries: std::collections::BTreeMap<NodeId, (Position, Velocity)>,
 }
 
 impl TableLocationService {
@@ -285,11 +285,7 @@ mod tests {
     fn table_location_service() {
         let mut svc = TableLocationService::new();
         assert!(svc.position_of(NodeId(1)).is_none());
-        svc.set(
-            NodeId(1),
-            Position::new(10.0, 0.0),
-            Velocity::new(1.0, 0.0),
-        );
+        svc.set(NodeId(1), Position::new(10.0, 0.0), Velocity::new(1.0, 0.0));
         assert_eq!(svc.position_of(NodeId(1)).unwrap().x, 10.0);
         assert_eq!(svc.velocity_of(NodeId(1)).unwrap().x, 1.0);
         assert!(NoLocationService.position_of(NodeId(1)).is_none());

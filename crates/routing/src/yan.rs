@@ -11,7 +11,7 @@
 
 use crate::common::{PendingBuffer, SeenCache};
 use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vanet_links::probability::{expected_link_duration, mean_link_duration};
 use vanet_mobility::geometry::distance;
 use vanet_net::{NeighborInfo, Packet, PacketKind, RouteRecord};
@@ -82,11 +82,11 @@ struct CachedRoute {
 #[derive(Debug)]
 pub struct Yan {
     config: YanConfig,
-    routes: HashMap<NodeId, CachedRoute>,
+    routes: BTreeMap<NodeId, CachedRoute>,
     pending: PendingBuffer,
     probes_seen: SeenCache,
     next_probe_id: u64,
-    last_probe: HashMap<NodeId, SimTime>,
+    last_probe: BTreeMap<NodeId, SimTime>,
     my_seq: SeqNo,
 }
 
@@ -102,11 +102,11 @@ impl Yan {
     pub fn with_config(config: YanConfig) -> Self {
         Yan {
             config,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             pending: PendingBuffer::new(16, SimDuration::from_secs(8.0)),
             probes_seen: SeenCache::new(30.0),
             next_probe_id: 0,
-            last_probe: HashMap::new(),
+            last_probe: BTreeMap::new(),
             my_seq: SeqNo(0),
         }
     }
@@ -170,7 +170,8 @@ impl Yan {
         self.last_probe.insert(dest, ctx.now);
         let probe_id = self.next_probe_id;
         self.next_probe_id += 1;
-        self.probes_seen.check_and_insert(ctx.node, probe_id, ctx.now);
+        self.probes_seen
+            .check_and_insert(ctx.node, probe_id, ctx.now);
         let path = vec![ctx.node];
         let candidates = self.candidates(ctx, dest, &path);
         if candidates.is_empty() {
@@ -478,7 +479,8 @@ mod tests {
     #[test]
     fn probing_issues_tickets_to_stable_progressing_neighbors() {
         let mut h = Harness::new(0, 0.0);
-        h.location.set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
         h.add_neighbor(1, 150.0, 25.0); // stable, progressing
         h.add_neighbor(2, 150.0, -25.0); // unstable (opposite), progressing
         h.add_neighbor(3, -150.0, 25.0); // behind, filtered out
@@ -551,7 +553,8 @@ mod tests {
 
         // The source receives the reply (after relaying) and caches the route.
         let mut src = Harness::new(0, 0.0);
-        src.location.set(NodeId(9), Vec2::new(400.0, 0.0), Vec2::ZERO);
+        src.location
+            .set(NodeId(9), Vec2::new(400.0, 0.0), Vec2::ZERO);
         src.add_neighbor(1, 150.0, 25.0);
         let mut yan_src = Yan::new();
         // Buffer a data packet first so the reply flushes it.
@@ -616,12 +619,16 @@ mod tests {
     #[test]
     fn no_neighbors_means_no_probe() {
         let mut h = Harness::new(0, 0.0);
-        h.location.set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
+        h.location
+            .set(NodeId(9), Vec2::new(2_000.0, 0.0), Vec2::ZERO);
         let mut yan = Yan::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
             yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
         };
-        assert!(actions.is_empty(), "packet is buffered until probing succeeds");
+        assert!(
+            actions.is_empty(),
+            "packet is buffered until probing succeeds"
+        );
     }
 }

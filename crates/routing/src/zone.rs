@@ -148,7 +148,9 @@ impl RoutingProtocol for Zone {
                 reason: DropReason::OutOfZone,
             }];
         }
-        vec![Action::Transmit(ctx.stamp(packet.forwarded_by(ctx.node, None)))]
+        vec![Action::Transmit(
+            ctx.stamp(packet.forwarded_by(ctx.node, None)),
+        )]
     }
 
     fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
@@ -278,10 +280,34 @@ mod tests {
     fn corridor_membership() {
         let from = Vec2::new(0.0, 0.0);
         let dest = Vec2::new(2_000.0, 0.0);
-        assert!(in_corridor(Vec2::new(1_000.0, 0.0), from, dest, 250.0, 500.0));
-        assert!(in_corridor(Vec2::new(1_000.0, 300.0), from, dest, 250.0, 500.0));
-        assert!(!in_corridor(Vec2::new(1_000.0, 2_000.0), from, dest, 250.0, 500.0));
-        assert!(!in_corridor(Vec2::new(-1_500.0, 0.0), from, dest, 250.0, 500.0));
+        assert!(in_corridor(
+            Vec2::new(1_000.0, 0.0),
+            from,
+            dest,
+            250.0,
+            500.0
+        ));
+        assert!(in_corridor(
+            Vec2::new(1_000.0, 300.0),
+            from,
+            dest,
+            250.0,
+            500.0
+        ));
+        assert!(!in_corridor(
+            Vec2::new(1_000.0, 2_000.0),
+            from,
+            dest,
+            250.0,
+            500.0
+        ));
+        assert!(!in_corridor(
+            Vec2::new(-1_500.0, 0.0),
+            from,
+            dest,
+            250.0,
+            500.0
+        ));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! `vanet-campaign` — run an experiment campaign from the command line.
+//!
+//! ```text
+//! vanet-campaign [NAME] [options]
+//!
+//! NAME                    a catalog campaign (see --list); default: quick
+//!
+//! Options:
+//!   --list                list catalog campaigns and exit
+//!   --scenarios S1,S2,..  parameterised campaign over these scenarios
+//!                         (highway-<N>, urban-<N>, sparse, normal,
+//!                         congested; options e.g. sparse:rsus=4,flows=5)
+//!   --protocols P1,P2,..  protocols for a parameterised campaign
+//!                         (default: the five Table-I representatives)
+//!   --seeds N             replications per cell (default 3)
+//!   --workers N           worker threads (default: available cores)
+//!   --format F            table | csv | jsonl        (default table)
+//!   --out FILE            write results to FILE instead of stdout
+//!   --full                paper-scale variant of catalog campaigns
+//!   --quiet               suppress per-job progress on stderr
+//! ```
+
+use std::process::ExitCode;
+use vanet_core::ProtocolKind;
+use vanet_runner::{
+    campaign_by_name, parse_scenario, protocol_by_name, render_csv, render_jsonl, render_table,
+    CampaignSpec, Runner, CATALOG,
+};
+
+#[derive(Debug, PartialEq)]
+enum Format {
+    Table,
+    Csv,
+    Jsonl,
+}
+
+struct Args {
+    name: Option<String>,
+    scenarios: Vec<String>,
+    protocols: Vec<String>,
+    seeds: Option<usize>,
+    workers: Option<usize>,
+    format: Format,
+    out: Option<String>,
+    full: bool,
+    quiet: bool,
+    list: bool,
+}
+
+fn usage() -> String {
+    let mut text = String::from(
+        "usage: vanet-campaign [NAME] [--scenarios S1,S2] [--protocols P1,P2] \
+         [--seeds N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
+         [--full] [--quiet] [--list]\n\ncatalog campaigns:\n",
+    );
+    for (name, blurb) in CATALOG {
+        text.push_str(&format!("  {name:<10} {blurb}\n"));
+    }
+    text
+}
+
+/// Internal marker distinguishing a help request from a parse error.
+const HELP_SENTINEL: &str = "\u{0}help";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        name: None,
+        scenarios: Vec::new(),
+        protocols: Vec::new(),
+        seeds: None,
+        workers: None,
+        format: Format::Table,
+        out: None,
+        full: false,
+        quiet: false,
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--full" => args.full = true,
+            "--quiet" => args.quiet = true,
+            "--scenarios" => {
+                args.scenarios = value("--scenarios")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--protocols" => {
+                args.protocols = value("--protocols")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--seeds" => {
+                args.seeds = Some(
+                    value("--seeds")?
+                        .parse()
+                        .map_err(|_| "--seeds needs an integer".to_owned())?,
+                );
+            }
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_owned())?,
+                );
+            }
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "table" => Format::Table,
+                    "csv" => Format::Csv,
+                    "jsonl" => Format::Jsonl,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--out" => args.out = Some(value("--out")?.clone()),
+            "--help" | "-h" => return Err(HELP_SENTINEL.to_owned()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            name if args.name.is_none() => args.name = Some(name.to_owned()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
+    if !args.scenarios.is_empty() {
+        let mut spec = CampaignSpec::new(args.name.clone().unwrap_or_else(|| "custom".to_owned()))
+            .replications(args.seeds.unwrap_or(3));
+        for label in &args.scenarios {
+            let scenario = parse_scenario(label)
+                .ok_or_else(|| format!("unknown scenario specifier {label:?}"))?;
+            spec = spec.scenario(label.clone(), scenario);
+        }
+        let protocols = if args.protocols.is_empty() {
+            ProtocolKind::REPRESENTATIVES.to_vec()
+        } else {
+            args.protocols
+                .iter()
+                .map(|name| {
+                    protocol_by_name(name).ok_or_else(|| format!("unknown protocol {name:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(spec.protocols(protocols))
+    } else {
+        let name = args.name.as_deref().unwrap_or("quick");
+        let mut spec = campaign_by_name(name, args.full)
+            .ok_or_else(|| format!("unknown campaign {name:?}\n\n{}", usage()))?;
+        if let Some(seeds) = args.seeds {
+            spec = spec.replications(seeds);
+        }
+        Ok(spec)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) if message == HELP_SENTINEL => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let spec = match build_spec(&args) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut runner = Runner::new().with_progress(!args.quiet);
+    if let Some(workers) = args.workers {
+        runner = runner.with_workers(workers);
+    }
+    let results = runner.run(&spec);
+
+    let rendered = match args.format {
+        Format::Table => render_table(&results),
+        Format::Csv => render_csv(&results),
+        Format::Jsonl => render_jsonl(&results),
+    };
+    match &args.out {
+        None => print!("{rendered}"),
+        Some(path) => {
+            if let Err(error) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {path:?}: {error}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[vanet-campaign] wrote {} cells to {path}",
+                results.cells.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,222 @@
+//! The campaign execution engine.
+//!
+//! [`Runner`] expands a [`CampaignSpec`] into jobs, executes them on the
+//! work-stealing pool from `vanet_sim::pool`, and reduces each cell's
+//! replications into a [`Summary`]. Determinism contract: because every job
+//! is seeded at expansion time and results are reduced in job order, the
+//! produced [`CampaignResults`] are identical for any worker count — the
+//! `campaign_is_deterministic_across_worker_counts` integration test pins
+//! this down.
+
+use crate::campaign::CampaignSpec;
+use crate::summary::Summary;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use vanet_core::{run_scenario, ProtocolKind, Report};
+use vanet_sim::pool::{available_workers, parallel_map_with_progress};
+
+/// One aggregated (scenario × protocol) cell of a finished campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// The scenario label from the spec.
+    pub label: String,
+    /// The scenario's own name (e.g. "highway-40").
+    pub scenario: String,
+    /// The protocol evaluated.
+    pub protocol: ProtocolKind,
+    /// Per-metric statistics over the replications.
+    pub summary: Summary,
+}
+
+impl CellSummary {
+    /// Collapses the cell to a mean-only [`Report`] (legacy reduction).
+    #[must_use]
+    pub fn mean_report(&self) -> Report {
+        self.summary
+            .mean_report(self.protocol.name(), &self.scenario)
+    }
+}
+
+/// The outcome of running a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResults {
+    /// The campaign name.
+    pub campaign: String,
+    /// Number of workers the campaign ran on.
+    pub workers: usize,
+    /// Wall-clock execution time (not part of the determinism contract).
+    pub elapsed: Duration,
+    /// One aggregated cell per (scenario × protocol) pair, in spec order.
+    pub cells: Vec<CellSummary>,
+}
+
+impl CampaignResults {
+    /// Total replications across all cells.
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.cells.iter().map(|c| c.summary.replications).sum()
+    }
+}
+
+/// Executes campaigns on a pool of worker threads.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    workers: usize,
+    progress: bool,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner sized to the available hardware parallelism, silent.
+    #[must_use]
+    pub fn new() -> Self {
+        Runner {
+            workers: available_workers(),
+            progress: false,
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables per-job progress lines on stderr.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job of `spec` and aggregates per-cell summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no scenarios or no protocols.
+    #[must_use]
+    pub fn run(&self, spec: &CampaignSpec) -> CampaignResults {
+        assert!(
+            !spec.scenarios.is_empty() && !spec.protocols.is_empty(),
+            "campaign '{}' has an empty scenario or protocol set",
+            spec.name
+        );
+        let jobs = spec.jobs();
+        let total = jobs.len();
+        if self.progress {
+            eprintln!(
+                "[vanet-runner] campaign '{}': {} cells x {} replications = {} jobs on {} workers",
+                spec.name,
+                spec.cell_count(),
+                spec.replications.max(1),
+                total,
+                self.workers
+            );
+        }
+        let started = Instant::now();
+        // stderr is locked per line so concurrent workers never interleave
+        // within a progress line.
+        let stderr = Mutex::new(std::io::stderr());
+        let reports = parallel_map_with_progress(
+            total,
+            self.workers,
+            |i| {
+                let job = &jobs[i];
+                run_scenario(job.scenario.clone(), job.protocol)
+            },
+            |i, done, n| {
+                if self.progress {
+                    let job = &jobs[i];
+                    let (label, _, _) = spec.cell(job.cell);
+                    let mut err = stderr.lock().expect("stderr lock poisoned");
+                    let _ = writeln!(
+                        err,
+                        "[vanet-runner] {done}/{n} {} on {} (seed {})",
+                        job.protocol, label, job.scenario.seed
+                    );
+                }
+            },
+        );
+        let elapsed = started.elapsed();
+
+        let replications = spec.replications.max(1);
+        let cells = reports
+            .chunks(replications)
+            .enumerate()
+            .map(|(cell, cell_reports)| {
+                let (label, scenario, protocol) = spec.cell(cell);
+                CellSummary {
+                    label: label.to_owned(),
+                    scenario: scenario.name.clone(),
+                    protocol,
+                    summary: Summary::from_reports(cell_reports)
+                        .expect("every cell has >= 1 replication"),
+                }
+            })
+            .collect();
+        if self.progress {
+            eprintln!(
+                "[vanet-runner] campaign '{}' finished: {} jobs in {:.2}s",
+                spec.name,
+                total,
+                elapsed.as_secs_f64()
+            );
+        }
+        CampaignResults {
+            campaign: spec.name.clone(),
+            workers: self.workers,
+            elapsed,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanet_core::Scenario;
+    use vanet_sim::SimDuration;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("tiny")
+            .scenario(
+                "hw",
+                Scenario::highway(10)
+                    .with_flows(2)
+                    .with_duration(SimDuration::from_secs(10.0)),
+            )
+            .protocols([ProtocolKind::Flooding])
+            .replications(2)
+    }
+
+    #[test]
+    fn runs_and_aggregates() {
+        let results = Runner::new().with_workers(2).run(&tiny_spec());
+        assert_eq!(results.cells.len(), 1);
+        let cell = &results.cells[0];
+        assert_eq!(cell.label, "hw");
+        assert_eq!(cell.protocol, ProtocolKind::Flooding);
+        assert_eq!(cell.summary.replications, 2);
+        assert!(cell.summary.data_sent.mean > 0.0);
+        assert_eq!(results.total_runs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scenario or protocol set")]
+    fn empty_spec_panics() {
+        let _ = Runner::new().run(&CampaignSpec::new("empty"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # vanet-runner — the parallel experiment-campaign engine
+//!
+//! The paper's contribution is an evaluation *matrix*: protocol families
+//! compared across scenarios, densities and seeds. This crate turns that
+//! matrix into a first-class object:
+//!
+//! * [`CampaignSpec`] declares a (scenario grid × protocols × replications)
+//!   campaign and expands it into independent, pre-seeded [`Job`]s;
+//! * [`Runner`] executes the jobs on a work-stealing `std::thread` pool sized
+//!   to the available cores, streaming progress to stderr;
+//! * every (scenario × protocol) cell is reduced to a [`Summary`] carrying
+//!   mean, std-dev, min/max and 95% confidence intervals per metric —
+//!   replacing the lossy mean-only reduction of `average_reports`;
+//! * results export as fixed-width tables, CSV and JSONL
+//!   ([`render_table`], [`render_csv`], [`render_jsonl`]) and parse back
+//!   losslessly ([`parse_csv`], [`parse_jsonl`]);
+//! * [`catalog`] names the standard campaigns, and the `vanet-campaign`
+//!   binary runs named or parameterised campaigns from the command line.
+//!
+//! **Determinism contract:** a job's result depends only on its pre-assigned
+//! seed, and cells are reduced in spec order, so campaign results are
+//! byte-identical whether they ran on 1 worker or 64.
+//!
+//! # Example
+//!
+//! ```
+//! use vanet_runner::{CampaignSpec, Runner};
+//! use vanet_core::{ProtocolKind, Scenario};
+//! use vanet_sim::SimDuration;
+//!
+//! let spec = CampaignSpec::new("doc")
+//!     .scenario("hw", Scenario::highway(10).with_duration(SimDuration::from_secs(5.0)))
+//!     .protocols([ProtocolKind::Flooding])
+//!     .replications(2);
+//! let results = Runner::new().run(&spec);
+//! assert_eq!(results.cells.len(), 1);
+//! assert_eq!(results.cells[0].summary.replications, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod catalog;
+pub mod engine;
+pub mod export;
+pub mod scenario_spec;
+pub mod summary;
+
+pub use campaign::{protocol_by_name, CampaignSpec, Job};
+pub use catalog::{campaign_by_name, parse_scenario, CATALOG};
+pub use engine::{CampaignResults, CellSummary, Runner};
+pub use export::{
+    parse_csv, parse_jsonl, render_csv, render_jsonl, render_table, ExportError, ParsedCampaign,
+};
+pub use summary::{t_critical_95, Summary, SummaryStat, METRIC_NAMES};

@@ -1,0 +1,74 @@
+//! Textual scenario specifiers (`highway-40`, `urban-25`, `sparse`, …).
+//!
+//! Shared by the `vanet-campaign` CLI and the catalog so campaigns can be
+//! parameterised from the command line without a configuration file.
+
+use vanet_core::{Scenario, TrafficRegime};
+
+/// Parses one scenario specifier:
+///
+/// * `highway-<N>` — an N-vehicle highway;
+/// * `urban-<N>` — an N-vehicle Manhattan grid;
+/// * `sparse` / `normal` / `congested` — a Table-I highway traffic regime;
+/// * an optional `:rsus=<K>` suffix adds K road-side units, e.g.
+///   `sparse:rsus=4`.
+#[must_use]
+pub fn parse(spec: &str) -> Option<Scenario> {
+    let (base, options) = match spec.split_once(':') {
+        Some((b, o)) => (b, Some(o)),
+        None => (spec, None),
+    };
+    let mut scenario = if let Some(count) = base.strip_prefix("highway-") {
+        Scenario::highway(count.parse().ok()?)
+    } else if let Some(count) = base.strip_prefix("urban-") {
+        Scenario::urban(count.parse().ok()?)
+    } else {
+        let regime = match base {
+            "sparse" => TrafficRegime::Sparse,
+            "normal" => TrafficRegime::Normal,
+            "congested" => TrafficRegime::Congested,
+            _ => return None,
+        };
+        Scenario::highway_regime(regime)
+    };
+    if let Some(options) = options {
+        for option in options.split(',') {
+            let (key, value) = option.split_once('=')?;
+            match key {
+                "rsus" => scenario = scenario.with_rsus(value.parse().ok()?),
+                "flows" => scenario = scenario.with_flows(value.parse().ok()?),
+                "seed" => scenario = scenario.with_seed(value.parse().ok()?),
+                _ => return None,
+            }
+        }
+    }
+    Some(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_families() {
+        assert_eq!(parse("highway-40").unwrap().vehicle_count(), 40);
+        assert_eq!(parse("urban-25").unwrap().vehicle_count(), 25);
+        assert!(parse("sparse").unwrap().name.contains("sparse"));
+        assert!(parse("congested").is_some());
+    }
+
+    #[test]
+    fn parses_option_suffixes() {
+        let s = parse("sparse:rsus=4,flows=5,seed=9").unwrap();
+        assert_eq!(s.rsu_count, 4);
+        assert_eq!(s.flows, 5);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("highway-").is_none());
+        assert!(parse("moon-base").is_none());
+        assert!(parse("sparse:warp=9").is_none());
+    }
+}

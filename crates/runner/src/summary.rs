@@ -1,0 +1,327 @@
+//! Statistical summaries of replicated simulation runs.
+//!
+//! The old `average_reports` reduction collapsed a set of per-seed
+//! [`Report`]s to a bare mean, throwing away every notion of spread. A
+//! [`Summary`] instead carries, for every metric, the sample mean, sample
+//! standard deviation, minimum, maximum and the half-width of the 95%
+//! confidence interval of the mean (Student's t for small replication
+//! counts), which is what the paper-style evaluation tables actually need.
+
+use vanet_core::Report;
+
+/// Five-number statistical summary of one metric over the replications.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SummaryStat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Half-width of the 95% confidence interval of the mean
+    /// (`t · s / √n`; 0 for a single sample).
+    pub ci95: f64,
+}
+
+/// Two-sided 95% Student's t critical values for 1..=30 degrees of freedom;
+/// beyond that the normal approximation (1.96) is used.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The t critical value for a 95% two-sided interval with `df` degrees of
+/// freedom.
+#[must_use]
+pub fn t_critical_95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= T95.len() {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+impl SummaryStat {
+    /// Computes the summary of a non-empty sample. Returns `None` when
+    /// `values` is empty.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Option<SummaryStat> {
+        let first = *values.first()?;
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let (mut min, mut max) = (first, first);
+        let mut ss = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            let d = v - mean;
+            ss += d * d;
+        }
+        let std_dev = if values.len() < 2 {
+            0.0
+        } else {
+            (ss / (n - 1.0)).sqrt()
+        };
+        let ci95 = if values.len() < 2 {
+            0.0
+        } else {
+            t_critical_95(values.len() - 1) * std_dev / n.sqrt()
+        };
+        Some(SummaryStat {
+            mean,
+            std_dev,
+            min,
+            max,
+            ci95,
+        })
+    }
+
+    /// Renders the stat as `mean ± ci95`.
+    #[must_use]
+    pub fn pm(&self) -> String {
+        format!("{:.3} ±{:.3}", self.mean, self.ci95)
+    }
+}
+
+/// Names of the metrics a [`Summary`] carries, in export order.
+pub const METRIC_NAMES: [&str; 15] = [
+    "data_sent",
+    "data_delivered",
+    "duplicate_deliveries",
+    "delivery_ratio",
+    "avg_delay_s",
+    "max_delay_s",
+    "avg_hops",
+    "control_packets",
+    "control_bytes",
+    "data_transmissions",
+    "control_per_delivered",
+    "transmissions_per_delivered",
+    "route_errors",
+    "drops",
+    "avg_neighbors",
+];
+
+/// Per-metric statistical summary of one experiment cell's replications.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    /// Number of replications summarised.
+    pub replications: usize,
+    /// Data packets originated.
+    pub data_sent: SummaryStat,
+    /// Unique data packets delivered.
+    pub data_delivered: SummaryStat,
+    /// Duplicate deliveries.
+    pub duplicate_deliveries: SummaryStat,
+    /// Packet delivery ratio.
+    pub delivery_ratio: SummaryStat,
+    /// Mean end-to-end delay, seconds.
+    pub avg_delay_s: SummaryStat,
+    /// Maximum end-to-end delay, seconds.
+    pub max_delay_s: SummaryStat,
+    /// Mean hop count of delivered packets.
+    pub avg_hops: SummaryStat,
+    /// Control packets transmitted.
+    pub control_packets: SummaryStat,
+    /// Control bytes transmitted.
+    pub control_bytes: SummaryStat,
+    /// Data-packet transmissions (every hop).
+    pub data_transmissions: SummaryStat,
+    /// Control packets per delivered data packet.
+    pub control_per_delivered: SummaryStat,
+    /// Total transmissions per delivered data packet.
+    pub transmissions_per_delivered: SummaryStat,
+    /// Route-error packets.
+    pub route_errors: SummaryStat,
+    /// Packet drops at the routing layer.
+    pub drops: SummaryStat,
+    /// Average neighbour count.
+    pub avg_neighbors: SummaryStat,
+}
+
+impl Summary {
+    /// Summarises a set of per-seed reports. Returns `None` for an empty set.
+    #[must_use]
+    pub fn from_reports(reports: &[Report]) -> Option<Summary> {
+        if reports.is_empty() {
+            return None;
+        }
+        let stat_u = |f: &dyn Fn(&Report) -> u64| -> SummaryStat {
+            let values: Vec<f64> = reports.iter().map(|r| f(r) as f64).collect();
+            SummaryStat::from_values(&values).expect("reports is non-empty")
+        };
+        let stat_f = |f: &dyn Fn(&Report) -> f64| -> SummaryStat {
+            let values: Vec<f64> = reports.iter().map(f).collect();
+            SummaryStat::from_values(&values).expect("reports is non-empty")
+        };
+        Some(Summary {
+            replications: reports.len(),
+            data_sent: stat_u(&|r| r.data_sent),
+            data_delivered: stat_u(&|r| r.data_delivered),
+            duplicate_deliveries: stat_u(&|r| r.duplicate_deliveries),
+            delivery_ratio: stat_f(&|r| r.delivery_ratio),
+            avg_delay_s: stat_f(&|r| r.avg_delay_s),
+            max_delay_s: stat_f(&|r| r.max_delay_s),
+            avg_hops: stat_f(&|r| r.avg_hops),
+            control_packets: stat_u(&|r| r.control_packets),
+            control_bytes: stat_u(&|r| r.control_bytes),
+            data_transmissions: stat_u(&|r| r.data_transmissions),
+            control_per_delivered: stat_f(&|r| r.control_per_delivered),
+            transmissions_per_delivered: stat_f(&|r| r.transmissions_per_delivered),
+            route_errors: stat_u(&|r| r.route_errors),
+            drops: stat_u(&|r| r.drops),
+            avg_neighbors: stat_f(&|r| r.avg_neighbors),
+        })
+    }
+
+    /// The metrics in [`METRIC_NAMES`] order.
+    #[must_use]
+    pub fn metrics(&self) -> [(&'static str, &SummaryStat); 15] {
+        [
+            ("data_sent", &self.data_sent),
+            ("data_delivered", &self.data_delivered),
+            ("duplicate_deliveries", &self.duplicate_deliveries),
+            ("delivery_ratio", &self.delivery_ratio),
+            ("avg_delay_s", &self.avg_delay_s),
+            ("max_delay_s", &self.max_delay_s),
+            ("avg_hops", &self.avg_hops),
+            ("control_packets", &self.control_packets),
+            ("control_bytes", &self.control_bytes),
+            ("data_transmissions", &self.data_transmissions),
+            ("control_per_delivered", &self.control_per_delivered),
+            (
+                "transmissions_per_delivered",
+                &self.transmissions_per_delivered,
+            ),
+            ("route_errors", &self.route_errors),
+            ("drops", &self.drops),
+            ("avg_neighbors", &self.avg_neighbors),
+        ]
+    }
+
+    /// Looks a metric up by its [`METRIC_NAMES`] name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&SummaryStat> {
+        self.metrics()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Mutable lookup, used when reconstructing a summary from an export.
+    pub(crate) fn metric_mut(&mut self, name: &str) -> Option<&mut SummaryStat> {
+        let stat = match name {
+            "data_sent" => &mut self.data_sent,
+            "data_delivered" => &mut self.data_delivered,
+            "duplicate_deliveries" => &mut self.duplicate_deliveries,
+            "delivery_ratio" => &mut self.delivery_ratio,
+            "avg_delay_s" => &mut self.avg_delay_s,
+            "max_delay_s" => &mut self.max_delay_s,
+            "avg_hops" => &mut self.avg_hops,
+            "control_packets" => &mut self.control_packets,
+            "control_bytes" => &mut self.control_bytes,
+            "data_transmissions" => &mut self.data_transmissions,
+            "control_per_delivered" => &mut self.control_per_delivered,
+            "transmissions_per_delivered" => &mut self.transmissions_per_delivered,
+            "route_errors" => &mut self.route_errors,
+            "drops" => &mut self.drops,
+            "avg_neighbors" => &mut self.avg_neighbors,
+            _ => return None,
+        };
+        Some(stat)
+    }
+
+    /// Collapses the summary back to a mean-only [`Report`], matching the
+    /// rounding behaviour of `vanet_core::average_reports` so existing
+    /// figure generators can keep their return types.
+    #[must_use]
+    pub fn mean_report(&self, protocol: impl Into<String>, scenario: impl Into<String>) -> Report {
+        let round = |s: &SummaryStat| s.mean.round() as u64;
+        Report {
+            protocol: protocol.into(),
+            scenario: scenario.into(),
+            data_sent: round(&self.data_sent),
+            data_delivered: round(&self.data_delivered),
+            duplicate_deliveries: round(&self.duplicate_deliveries),
+            delivery_ratio: self.delivery_ratio.mean,
+            avg_delay_s: self.avg_delay_s.mean,
+            max_delay_s: self.max_delay_s.mean,
+            avg_hops: self.avg_hops.mean,
+            control_packets: round(&self.control_packets),
+            control_bytes: round(&self.control_bytes),
+            data_transmissions: round(&self.data_transmissions),
+            control_per_delivered: self.control_per_delivered.mean,
+            transmissions_per_delivered: self.transmissions_per_delivered.mean,
+            route_errors: round(&self.route_errors),
+            drops: round(&self.drops),
+            avg_neighbors: self.avg_neighbors.mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_of_known_sample() {
+        let s = SummaryStat::from_values(&[2.0, 4.0, 6.0]).unwrap();
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        // t(df=2) = 4.303, ci = 4.303 * 2 / sqrt(3)
+        assert!((s.ci95 - 4.303 * 2.0 / 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = SummaryStat::from_values(&[5.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert_eq!(SummaryStat::from_values(&[]), None);
+        assert_eq!(Summary::from_reports(&[]), None);
+    }
+
+    #[test]
+    fn t_table_shape() {
+        assert!(t_critical_95(1) > t_critical_95(2));
+        assert!((t_critical_95(100) - 1.96).abs() < 1e-12);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn metric_lookup_covers_all_names() {
+        let mut summary = Summary::default();
+        // metric() and metric_mut() must both resolve every exported name
+        // and address the same field — the export parsers write through
+        // metric_mut, so a gap here would silently zero a parsed metric.
+        for (i, name) in METRIC_NAMES.iter().enumerate() {
+            let marker = 1.0 + i as f64;
+            summary
+                .metric_mut(name)
+                .unwrap_or_else(|| panic!("{name} missing from metric_mut"))
+                .mean = marker;
+            assert_eq!(
+                summary
+                    .metric(name)
+                    .unwrap_or_else(|| panic!("{name} missing"))
+                    .mean,
+                marker,
+                "metric() and metric_mut() disagree for {name}"
+            );
+        }
+        assert!(summary.metric("nope").is_none());
+        assert!(summary.metric_mut("nope").is_none());
+    }
+}

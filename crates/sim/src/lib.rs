@@ -28,6 +28,7 @@
 pub mod error;
 pub mod event;
 pub mod ids;
+pub mod pool;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;
@@ -36,6 +37,7 @@ pub mod time;
 pub use error::SimError;
 pub use event::{EventEntry, EventHandle, EventQueue};
 pub use ids::{FlowId, NodeId, PacketId, PacketIdAllocator, SeqNo};
+pub use pool::{available_workers, parallel_map_indexed, parallel_map_with_progress};
 pub use rng::SimRng;
 pub use scheduler::{Clock, Scheduler};
 pub use stats::{Counter, Histogram, RunningStats, TimeWeightedAverage};

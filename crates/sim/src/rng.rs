@@ -6,25 +6,39 @@
 //! from the master seed and a stream label, so adding randomness to one
 //! component never perturbs the draws seen by another — a property the
 //! deterministic-replay integration tests rely on.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64,
+//! so the kernel carries no external dependencies and the byte-exact replay
+//! guarantee holds across platforms and toolchains.
 
 /// A seeded random number generator with named sub-stream derivation.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+/// One SplitMix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SimRng { seed, state }
     }
 
     /// The seed this generator was created from.
@@ -54,9 +68,31 @@ impl SimRng {
         SimRng::new(base.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`SimRng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
     /// Uniform value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits give every representable double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[low, high)`.
@@ -76,7 +112,19 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn uniform_usize(&mut self, n: usize) -> usize {
         assert!(n > 0, "uniform_usize requires n > 0");
-        self.rng.gen_range(0..n)
+        // Lemire-style widening multiply with rejection keeps the draw
+        // unbiased for every n, not just powers of two.
+        let n = n as u64;
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Bernoulli trial returning `true` with probability `p` (clamped to [0,1]).
@@ -108,24 +156,6 @@ impl SimRng {
             let j = self.uniform_usize(i + 1);
             items.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
     }
 }
 
@@ -182,6 +212,22 @@ mod tests {
     }
 
     #[test]
+    fn uniform_usize_covers_range_without_bias_hotspots() {
+        let mut rng = SimRng::new(17);
+        let n = 7;
+        let mut counts = vec![0u32; n];
+        for _ in 0..70_000 {
+            counts[rng.uniform_usize(n)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (f64::from(c) / 10_000.0 - 1.0).abs() < 0.05,
+                "bucket {i} count {c} too far from uniform"
+            );
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut rng = SimRng::new(5);
         assert!(!rng.chance(0.0));
@@ -196,7 +242,10 @@ mod tests {
         let n = 20_000;
         let hits = (0..n).filter(|_| rng.chance(0.3)).count();
         let freq = hits as f64 / n as f64;
-        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+        assert!(
+            (freq - 0.3).abs() < 0.02,
+            "frequency {freq} too far from 0.3"
+        );
     }
 
     #[test]

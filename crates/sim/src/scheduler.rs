@@ -148,7 +148,10 @@ impl<E> Scheduler<E> {
             }
         }
         let (time, event) = self.queue.pop()?;
-        debug_assert!(time >= self.now, "event queue returned an event in the past");
+        debug_assert!(
+            time >= self.now,
+            "event queue returned an event in the past"
+        );
         self.now = time;
         self.processed += 1;
         Some((time, event))
@@ -219,7 +222,10 @@ mod tests {
         s.schedule_after(SimDuration::from_secs(1.0), Ev::A);
         s.schedule_after(SimDuration::from_secs(2.0), Ev::B);
         assert!(s.next_event().is_some());
-        assert!(s.next_event().is_none(), "event beyond horizon must not fire");
+        assert!(
+            s.next_event().is_none(),
+            "event beyond horizon must not fire"
+        );
         assert_eq!(s.pending_events(), 1);
     }
 

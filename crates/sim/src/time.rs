@@ -382,7 +382,10 @@ mod tests {
     #[test]
     fn saturating_constructor_clamps() {
         assert_eq!(SimDuration::from_secs_saturating(-3.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_saturating(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_saturating(f64::NAN),
+            SimDuration::ZERO
+        );
         assert_eq!(SimDuration::from_secs_saturating(3.0).as_secs(), 3.0);
     }
 }

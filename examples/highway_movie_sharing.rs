@@ -18,9 +18,7 @@ fn main() {
         .with_duration(SimDuration::from_secs(90.0))
         .with_rsus(2);
 
-    println!(
-        "Movie-block fetching on an 80-vehicle highway (6 flows, 90 s, 2 RSUs)\n"
-    );
+    println!("Movie-block fetching on an 80-vehicle highway (6 flows, 90 s, 2 RSUs)\n");
     println!("{}", Report::table_header());
     let mut best: Option<Report> = None;
     for kind in ProtocolKind::REPRESENTATIVES {

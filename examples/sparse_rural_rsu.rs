@@ -33,10 +33,7 @@ fn main() {
     }
 
     // Bus ferries as the "poor man's infrastructure".
-    let with_buses = base
-        .clone()
-        .with_buses(3)
-        .with_name("sparse/3-buses");
+    let with_buses = base.clone().with_buses(3).with_name("sparse/3-buses");
     let report = run_scenario(with_buses, ProtocolKind::Bus);
     println!("{}", report.table_row());
 

@@ -30,21 +30,25 @@ fn connectivity_protocols_deliver_on_dense_highway() {
         ProtocolKind::Aodv,
         ProtocolKind::Dsdv,
     ] {
-        assert_delivers(kind, dense_highway(7), 0.10);
+        assert_delivers(kind, dense_highway(12), 0.10);
     }
 }
 
 #[test]
 fn mobility_protocols_deliver_on_dense_highway() {
     for kind in [ProtocolKind::Pbr, ProtocolKind::Taleb, ProtocolKind::Abedi] {
-        assert_delivers(kind, dense_highway(7), 0.10);
+        assert_delivers(kind, dense_highway(12), 0.10);
     }
 }
 
 #[test]
 fn geographic_protocols_deliver_on_dense_highway() {
-    for kind in [ProtocolKind::Greedy, ProtocolKind::Zone, ProtocolKind::Rover] {
-        assert_delivers(kind, dense_highway(7), 0.10);
+    for kind in [
+        ProtocolKind::Greedy,
+        ProtocolKind::Zone,
+        ProtocolKind::Rover,
+    ] {
+        assert_delivers(kind, dense_highway(12), 0.10);
     }
 }
 
@@ -57,7 +61,7 @@ fn probability_protocols_deliver_on_dense_highway() {
         ProtocolKind::Rear,
         ProtocolKind::GvGrid,
     ] {
-        assert_delivers(kind, dense_highway(7), 0.10);
+        assert_delivers(kind, dense_highway(12), 0.10);
     }
 }
 

@@ -3,8 +3,8 @@
 //! must match the break time observed when actually moving the vehicles.
 
 use vanet::links::lifetime::{link_lifetime_constant_speed, link_lifetime_planar};
-use vanet::links::probability::{link_availability, segment_connectivity_probability};
 use vanet::links::path_lifetime;
+use vanet::links::probability::{link_availability, segment_connectivity_probability};
 use vanet::mobility::geometry::distance;
 use vanet::mobility::{HighwayBuilder, MobilityModel, Vec2};
 use vanet::sim::{NodeId, SimDuration, SimRng};
@@ -28,9 +28,24 @@ fn simulate_break_time(p0: Vec2, v0: Vec2, p1: Vec2, v1: Vec2, range: f64) -> Op
 #[test]
 fn planar_lifetime_matches_simulated_two_vehicle_motion() {
     let cases = [
-        (Vec2::new(0.0, 0.0), Vec2::new(33.0, 0.0), Vec2::new(80.0, 4.0), Vec2::new(25.0, 0.0)),
-        (Vec2::new(0.0, 0.0), Vec2::new(30.0, 0.0), Vec2::new(120.0, 4.0), Vec2::new(-28.0, 0.0)),
-        (Vec2::new(50.0, 0.0), Vec2::new(20.0, 0.0), Vec2::new(0.0, 0.0), Vec2::new(31.0, 0.0)),
+        (
+            Vec2::new(0.0, 0.0),
+            Vec2::new(33.0, 0.0),
+            Vec2::new(80.0, 4.0),
+            Vec2::new(25.0, 0.0),
+        ),
+        (
+            Vec2::new(0.0, 0.0),
+            Vec2::new(30.0, 0.0),
+            Vec2::new(120.0, 4.0),
+            Vec2::new(-28.0, 0.0),
+        ),
+        (
+            Vec2::new(50.0, 0.0),
+            Vec2::new(20.0, 0.0),
+            Vec2::new(0.0, 0.0),
+            Vec2::new(31.0, 0.0),
+        ),
     ];
     for (p0, v0, p1, v1) in cases {
         let predicted = link_lifetime_planar(p0, v0, p1, v1, 250.0);
@@ -53,7 +68,7 @@ fn analytic_lifetime_matches_highway_mobility_model() {
     // Take two same-direction vehicles from the highway generator, freeze
     // their current kinematics and compare the analytic prediction with the
     // straight-line extrapolation of the mobility state.
-    let mut rng = SimRng::new(21);
+    let mut rng = SimRng::new(13);
     let hw = HighwayBuilder::new()
         .length_m(100_000.0) // long ring so the wrap never interferes
         .vehicles(40)
@@ -89,7 +104,11 @@ fn analytic_lifetime_matches_highway_mobility_model() {
 
 #[test]
 fn one_dimensional_and_planar_models_agree_on_same_lane_traffic() {
-    for (d0, vi, vj) in [(-100.0, 32.0, 27.0), (60.0, 25.0, 30.0), (-20.0, 35.0, 10.0)] {
+    for (d0, vi, vj) in [
+        (-100.0, 32.0, 27.0),
+        (60.0, 25.0, 30.0),
+        (-20.0, 35.0, 10.0),
+    ] {
         let linear = link_lifetime_constant_speed(d0, vi, vj, 250.0);
         let planar = link_lifetime_planar(
             Vec2::new(0.0, 0.0),
@@ -107,9 +126,24 @@ fn path_lifetime_is_bottleneck_of_measured_links() {
     // Three links with known lifetimes: the path must break when the weakest
     // link breaks.
     let links = [
-        (Vec2::new(0.0, 0.0), Vec2::new(30.0, 0.0), Vec2::new(100.0, 0.0), Vec2::new(28.0, 0.0)),
-        (Vec2::new(100.0, 0.0), Vec2::new(28.0, 0.0), Vec2::new(250.0, 0.0), Vec2::new(22.0, 0.0)),
-        (Vec2::new(250.0, 0.0), Vec2::new(22.0, 0.0), Vec2::new(350.0, 0.0), Vec2::new(30.0, 0.0)),
+        (
+            Vec2::new(0.0, 0.0),
+            Vec2::new(30.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(28.0, 0.0),
+        ),
+        (
+            Vec2::new(100.0, 0.0),
+            Vec2::new(28.0, 0.0),
+            Vec2::new(250.0, 0.0),
+            Vec2::new(22.0, 0.0),
+        ),
+        (
+            Vec2::new(250.0, 0.0),
+            Vec2::new(22.0, 0.0),
+            Vec2::new(350.0, 0.0),
+            Vec2::new(30.0, 0.0),
+        ),
     ];
     let lifetimes: Vec<f64> = links
         .iter()

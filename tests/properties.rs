@@ -1,9 +1,11 @@
-//! Property-based tests (proptest) of the core invariants:
-//! event ordering, link-lifetime closed forms vs numeric integration,
-//! probability models staying in [0, 1], path-metric algebra and greedy
-//! forwarding monotonicity.
+//! Property-style tests of the core invariants: event ordering,
+//! link-lifetime closed forms vs numeric integration, probability models
+//! staying in [0, 1], path-metric algebra and greedy forwarding monotonicity.
+//!
+//! Inputs are sampled from seeded `SimRng` streams rather than a
+//! property-testing framework (the offline build has no proptest), so every
+//! case is deterministic and reproducible by seed.
 
-use proptest::prelude::*;
 use vanet::links::lifetime::{
     link_lifetime_constant_acceleration, link_lifetime_constant_speed, link_lifetime_numeric,
     link_lifetime_planar,
@@ -15,46 +17,56 @@ use vanet::links::{path_lifetime, path_reliability};
 use vanet::mobility::geometry::distance;
 use vanet::mobility::Vec2;
 use vanet::net::NeighborTable;
-use vanet::sim::{EventQueue, NodeId, SimDuration, SimTime};
+use vanet::sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn event_queue_pops_in_nondecreasing_time_order(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+#[test]
+fn event_queue_pops_in_nondecreasing_time_order() {
+    let mut rng = SimRng::new(0xE0E0);
+    for _ in 0..CASES {
+        let count = 1 + rng.uniform_usize(199);
         let mut queue = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            queue.push(SimTime::from_secs(*t), i);
+        for i in 0..count {
+            queue.push(SimTime::from_secs(rng.uniform_range(0.0, 1e6)), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = queue.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
     }
+}
 
-    #[test]
-    fn constant_speed_lifetime_matches_numeric_integration(
-        d0 in -240.0f64..240.0,
-        vi in 0.0f64..40.0,
-        vj in 0.0f64..40.0,
-    ) {
+#[test]
+fn constant_speed_lifetime_matches_numeric_integration() {
+    let mut rng = SimRng::new(0xC5C5);
+    for _ in 0..CASES {
+        let d0 = rng.uniform_range(-240.0, 240.0);
+        let vi = rng.uniform_range(0.0, 40.0);
+        let vj = rng.uniform_range(0.0, 40.0);
         let closed = link_lifetime_constant_speed(d0, vi, vj, 250.0);
         let numeric = link_lifetime_numeric(d0, |_| vi, |_| vj, 250.0, 0.005, 2_000.0);
         if closed.is_finite() && closed.duration_s < 1_900.0 {
-            prop_assert!((closed.duration_s - numeric.duration_s).abs() < 0.05,
-                "closed {} vs numeric {}", closed.duration_s, numeric.duration_s);
+            assert!(
+                (closed.duration_s - numeric.duration_s).abs() < 0.05,
+                "closed {} vs numeric {} (d0 {d0}, vi {vi}, vj {vj})",
+                closed.duration_s,
+                numeric.duration_s
+            );
         }
     }
+}
 
-    #[test]
-    fn acceleration_lifetime_matches_numeric_integration(
-        d0 in -200.0f64..200.0,
-        vi in 0.0f64..40.0,
-        vj in 0.0f64..40.0,
-        ai in -2.0f64..2.0,
-        aj in -2.0f64..2.0,
-    ) {
+#[test]
+fn acceleration_lifetime_matches_numeric_integration() {
+    let mut rng = SimRng::new(0xACCE);
+    for _ in 0..CASES {
+        let d0 = rng.uniform_range(-200.0, 200.0);
+        let vi = rng.uniform_range(0.0, 40.0);
+        let vj = rng.uniform_range(0.0, 40.0);
+        let ai = rng.uniform_range(-2.0, 2.0);
+        let aj = rng.uniform_range(-2.0, 2.0);
         let closed = link_lifetime_constant_acceleration(d0, vi, vj, ai, aj, 250.0);
         let numeric = link_lifetime_numeric(
             d0,
@@ -65,134 +77,168 @@ proptest! {
             500.0,
         );
         if closed.is_finite() && closed.duration_s < 450.0 && numeric.is_finite() {
-            prop_assert!((closed.duration_s - numeric.duration_s).abs() < 0.1,
-                "closed {} vs numeric {}", closed.duration_s, numeric.duration_s);
+            assert!(
+                (closed.duration_s - numeric.duration_s).abs() < 0.1,
+                "closed {} vs numeric {} (d0 {d0}, vi {vi}, vj {vj}, ai {ai}, aj {aj})",
+                closed.duration_s,
+                numeric.duration_s
+            );
         }
     }
+}
 
-    #[test]
-    fn planar_lifetime_is_never_negative_and_breaks_at_range(
-        px in -200.0f64..200.0, py in -5.0f64..5.0,
-        vix in -40.0f64..40.0, vjx in -40.0f64..40.0,
-    ) {
+#[test]
+fn planar_lifetime_is_never_negative_and_breaks_at_range() {
+    let mut rng = SimRng::new(0x9A9A);
+    for _ in 0..CASES {
+        let px = rng.uniform_range(-200.0, 200.0);
+        let py = rng.uniform_range(-5.0, 5.0);
+        let vix = rng.uniform_range(-40.0, 40.0);
+        let vjx = rng.uniform_range(-40.0, 40.0);
         let p_i = Vec2::new(0.0, 0.0);
         let p_j = Vec2::new(px, py);
         let lt = link_lifetime_planar(p_i, Vec2::new(vix, 0.0), p_j, Vec2::new(vjx, 0.0), 250.0);
-        prop_assert!(lt.duration_s >= 0.0);
+        assert!(lt.duration_s >= 0.0);
         if lt.is_finite() && lt.duration_s > 0.0 && distance(p_i, p_j) <= 250.0 {
             // At the predicted break instant the separation is exactly the range.
             let t = lt.duration_s;
             let a = p_i + Vec2::new(vix, 0.0) * t;
             let b = p_j + Vec2::new(vjx, 0.0) * t;
-            prop_assert!((distance(a, b) - 250.0).abs() < 1e-6);
+            assert!((distance(a, b) - 250.0).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn probability_models_stay_in_unit_interval(
-        separation in -300.0f64..300.0,
-        mean in -60.0f64..60.0,
-        std in 0.0f64..20.0,
-        horizon in 0.0f64..120.0,
-        density in 0.0f64..0.2,
-        length in 0.0f64..5_000.0,
-        dist in 1.0f64..1_000.0,
-    ) {
+#[test]
+fn probability_models_stay_in_unit_interval() {
+    let mut rng = SimRng::new(0x1111);
+    for _ in 0..CASES {
+        let separation = rng.uniform_range(-300.0, 300.0);
+        let mean = rng.uniform_range(-60.0, 60.0);
+        let std = rng.uniform_range(0.0, 20.0);
+        let horizon = rng.uniform_range(0.0, 120.0);
+        let density = rng.uniform_range(0.0, 0.2);
+        let length = rng.uniform_range(0.0, 5_000.0);
+        let dist = rng.uniform_range(1.0, 1_000.0);
         let a = link_availability(separation, mean, std, 250.0, horizon);
-        prop_assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&a));
         let c = segment_connectivity_probability(density, length, 250.0);
-        prop_assert!((0.0..=1.0).contains(&c));
+        assert!((0.0..=1.0).contains(&c));
         let r = receipt_probability(dist, 250.0, 2.7, 6.0);
-        prop_assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&r));
     }
+}
 
-    #[test]
-    fn availability_is_monotone_nonincreasing_in_horizon(
-        mean in -30.0f64..30.0,
-        std in 0.1f64..10.0,
-        d0 in -200.0f64..200.0,
-        t1 in 0.0f64..60.0,
-        dt in 0.0f64..60.0,
-    ) {
+#[test]
+fn availability_is_monotone_nonincreasing_in_horizon() {
+    let mut rng = SimRng::new(0xA0A0);
+    for _ in 0..CASES {
+        let mean = rng.uniform_range(-30.0, 30.0);
+        let std = rng.uniform_range(0.1, 10.0);
+        let d0 = rng.uniform_range(-200.0, 200.0);
+        let t1 = rng.uniform_range(0.0, 60.0);
+        let dt = rng.uniform_range(0.0, 60.0);
         let early = link_availability(d0, mean, std, 250.0, t1);
         let late = link_availability(d0, mean, std, 250.0, t1 + dt);
-        prop_assert!(late <= early + 1e-9);
+        assert!(late <= early + 1e-9);
     }
+}
 
-    #[test]
-    fn receipt_probability_is_monotone_in_distance(
-        d1 in 1.0f64..2_000.0,
-        extra in 0.0f64..500.0,
-        sigma in 0.1f64..12.0,
-    ) {
+#[test]
+fn receipt_probability_is_monotone_in_distance() {
+    let mut rng = SimRng::new(0x4E4E);
+    for _ in 0..CASES {
+        let d1 = rng.uniform_range(1.0, 2_000.0);
+        let extra = rng.uniform_range(0.0, 500.0);
+        let sigma = rng.uniform_range(0.1, 12.0);
         let near = receipt_probability(d1, 250.0, 2.7, sigma);
         let far = receipt_probability(d1 + extra, 250.0, 2.7, sigma);
-        prop_assert!(far <= near + 1e-9);
+        assert!(far <= near + 1e-9);
     }
+}
 
-    #[test]
-    fn path_metrics_algebra(
-        lifetimes in prop::collection::vec(0.0f64..1_000.0, 0..12),
-        rels in prop::collection::vec(0.0f64..1.0, 0..12),
-    ) {
+#[test]
+fn path_metrics_algebra() {
+    let mut rng = SimRng::new(0x9878);
+    for _ in 0..CASES {
+        let lifetimes: Vec<f64> = (0..rng.uniform_usize(12))
+            .map(|_| rng.uniform_range(0.0, 1_000.0))
+            .collect();
+        let rels: Vec<f64> = (0..rng.uniform_usize(12))
+            .map(|_| rng.uniform_range(0.0, 1.0))
+            .collect();
         let pl = path_lifetime(&lifetimes);
         for l in &lifetimes {
-            prop_assert!(pl <= *l + 1e-12);
+            assert!(pl <= *l + 1e-12);
         }
         let pr = path_reliability(&rels);
-        prop_assert!((0.0..=1.0).contains(&pr));
+        assert!((0.0..=1.0).contains(&pr));
         for r in &rels {
-            prop_assert!(pr <= *r + 1e-12);
+            assert!(pr <= *r + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn greedy_next_hop_always_makes_progress(
-        neighbours in prop::collection::vec((-1_000.0f64..1_000.0, -1_000.0f64..1_000.0), 1..30),
-        dest_x in -2_000.0f64..2_000.0,
-        dest_y in -2_000.0f64..2_000.0,
-    ) {
+#[test]
+fn greedy_next_hop_always_makes_progress() {
+    let mut rng = SimRng::new(0x64EE);
+    for _ in 0..CASES {
+        let count = 1 + rng.uniform_usize(29);
         let mut table = NeighborTable::new();
-        for (i, (x, y)) in neighbours.iter().enumerate() {
+        let mut positions = Vec::new();
+        for i in 0..count {
+            let pos = Vec2::new(
+                rng.uniform_range(-1_000.0, 1_000.0),
+                rng.uniform_range(-1_000.0, 1_000.0),
+            );
+            positions.push(pos);
             table.observe(
                 NodeId(i as u32 + 1),
-                Vec2::new(*x, *y),
+                pos,
                 Vec2::ZERO,
                 SimTime::ZERO,
                 SimDuration::from_secs(10.0),
             );
         }
         let own = Vec2::new(0.0, 0.0);
-        let dest = Vec2::new(dest_x, dest_y);
+        let dest = Vec2::new(
+            rng.uniform_range(-2_000.0, 2_000.0),
+            rng.uniform_range(-2_000.0, 2_000.0),
+        );
         let own_distance = distance(own, dest);
         if let Some(next) = table.greedy_next_hop(dest, own_distance) {
-            prop_assert!(distance(next.position, dest) < own_distance);
+            assert!(distance(next.position, dest) < own_distance);
         } else {
             // Local maximum: indeed no neighbour is closer.
-            for n in table.iter() {
-                prop_assert!(distance(n.position, dest) >= own_distance);
+            for p in &positions {
+                assert!(distance(*p, dest) >= own_distance);
             }
         }
     }
+}
 
-    #[test]
-    fn seqno_and_routing_table_freshness(seqs in prop::collection::vec(0u64..50, 1..40)) {
-        use vanet::routing::{RouteEntry, RoutingTable};
-        use vanet::sim::SeqNo;
+#[test]
+fn seqno_and_routing_table_freshness() {
+    use vanet::routing::{RouteEntry, RoutingTable};
+    use vanet::sim::SeqNo;
+    let mut rng = SimRng::new(0x5E05);
+    for _ in 0..CASES {
+        let count = 1 + rng.uniform_usize(39);
         let mut table = RoutingTable::new();
         let mut best_seq = 0;
-        for (i, s) in seqs.iter().enumerate() {
+        for i in 0..count {
+            let s = rng.uniform_usize(50) as u64;
             table.upsert(RouteEntry {
                 destination: NodeId(9),
                 next_hop: NodeId(i as u32),
                 hops: 3,
-                seq: SeqNo(*s),
+                seq: SeqNo(s),
                 metric: 0.0,
                 expires_at: SimTime::from_secs(1_000.0),
             });
-            best_seq = best_seq.max(*s);
+            best_seq = best_seq.max(s);
         }
         let entry = table.route(NodeId(9), SimTime::ZERO).unwrap();
-        prop_assert_eq!(entry.seq, SeqNo(best_seq));
+        assert_eq!(entry.seq, SeqNo(best_seq));
     }
 }
