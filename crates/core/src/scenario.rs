@@ -156,6 +156,29 @@ impl Scenario {
         }
     }
 
+    /// A production-scale Manhattan-grid scenario: the city grows with the
+    /// fleet so vehicle density stays at roughly 275 vehicles/km² (dense
+    /// urban traffic) regardless of `vehicles`. `megacity(10_000)` is the
+    /// workspace's standard stress/bench workload.
+    #[must_use]
+    pub fn megacity(vehicles: usize) -> Self {
+        let side_m = (vehicles.max(1) as f64 / 275.0).sqrt() * 1_000.0;
+        let blocks = ((side_m / 300.0).ceil() as usize).max(2);
+        Scenario {
+            name: format!("megacity-{vehicles}"),
+            layout: RoadLayout::Urban(
+                UrbanGridBuilder::new()
+                    .blocks(blocks, blocks)
+                    .block_m(300.0)
+                    .vehicles(vehicles),
+            ),
+            flows: 16,
+            duration: SimDuration::from_secs(20.0),
+            warmup: SimDuration::from_secs(2.0),
+            ..Self::default()
+        }
+    }
+
     /// An urban Manhattan-grid scenario with an explicit vehicle count.
     #[must_use]
     pub fn urban(vehicles: usize) -> Self {

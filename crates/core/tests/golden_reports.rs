@@ -1,0 +1,107 @@
+//! Golden per-protocol reports pinned against the pre-`ActionSink` engine.
+//!
+//! The hot-path refactor (protocol `ActionSink` API, `Arc`-shared frames,
+//! scratch delivery buffers, batched beacon wheel) must not change a single
+//! simulated outcome: for a fixed seed, every protocol has to produce a
+//! byte-identical [`Report`]. The pins below were captured from the engine
+//! *before* the refactor; any diff here means the refactor altered RNG
+//! consumption or event ordering somewhere.
+//!
+//! Regenerate (after an *intentional* behaviour change) with:
+//!
+//! ```text
+//! cargo test -p vanet-core --test golden_reports -- --ignored --nocapture regenerate
+//! ```
+
+use vanet_core::{run_scenario, ProtocolKind, Report, Scenario};
+use vanet_sim::SimDuration;
+
+/// The fixed scenario every protocol is pinned on: a 30-vehicle highway with
+/// RSUs (exercises DRR's backbone) and buses (exercises the bus ferry).
+fn golden_scenario() -> Scenario {
+    Scenario::highway(30)
+        .with_seed(7)
+        .with_rsus(2)
+        .with_buses(2)
+        .with_flows(3)
+        .with_duration(SimDuration::from_secs(30.0))
+}
+
+/// A compact, lossless fingerprint of a report. Floats are rendered with
+/// `Debug` (shortest round-trip representation), so two fingerprints are
+/// equal iff the reports are bit-identical.
+fn fingerprint(r: &Report) -> String {
+    format!(
+        "{}|sent={} dlvd={} dup={} pdr={:?} delay={:?} maxdelay={:?} hops={:?} \
+         ctrl={} ctrlB={} dtx={} rerr={} drops={} nbr={:?}",
+        r.protocol,
+        r.data_sent,
+        r.data_delivered,
+        r.duplicate_deliveries,
+        r.delivery_ratio,
+        r.avg_delay_s,
+        r.max_delay_s,
+        r.avg_hops,
+        r.control_packets,
+        r.control_bytes,
+        r.data_transmissions,
+        r.route_errors,
+        r.drops,
+        r.avg_neighbors
+    )
+}
+
+/// Pinned fingerprints, one per `ProtocolKind` in `ALL` order.
+/// Captured from the pre-refactor engine at seed 7.
+const PINS: &[&str] = &[
+    "Flooding|sent=75 dlvd=6 dup=0 pdr=0.08 delay=0.01046353144706528 maxdelay=0.012677419095819431 hops=5.0 ctrl=0 ctrlB=0 dtx=627 rerr=0 drops=1280 nbr=2.168750000000002",
+    "Biswas|sent=75 dlvd=11 dup=0 pdr=0.14666666666666667 delay=1.0337708339644407 maxdelay=4.566312094358889 hops=5.727272727272727 ctrl=0 ctrlB=0 dtx=922 rerr=0 drops=1757 nbr=2.233333333333333",
+    "AODV|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1320 ctrlB=43676 dtx=0 rerr=13 drops=635 nbr=3.813541666666667",
+    "DSDV|sent=75 dlvd=3 dup=0 pdr=0.04 delay=0.008124698842881509 maxdelay=0.00848280756930464 hops=6.0 ctrl=480 ctrlB=61872 dtx=58 rerr=0 drops=65 nbr=3.214583333333332",
+    "PBR|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1331 ctrlB=44176 dtx=0 rerr=16 drops=627 nbr=3.8135416666666644",
+    "Taleb|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1071 ctrlB=34072 dtx=0 rerr=5 drops=257 nbr=3.809375000000001",
+    "Abedi|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1319 ctrlB=43608 dtx=0 rerr=14 drops=636 nbr=3.813541666666667",
+    "DRR|sent=75 dlvd=15 dup=0 pdr=0.2 delay=10.50042384368885 maxdelay=19.757498930173277 hops=3.0 ctrl=982 ctrlB=42424 dtx=195 rerr=0 drops=0 nbr=3.8020833333333313",
+    "Bus|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=960 ctrlB=30720 dtx=25 rerr=0 drops=0 nbr=3.802083333333331",
+    "Greedy|sent=75 dlvd=4 dup=0 pdr=0.05333333333333334 delay=0.11262254551842908 maxdelay=0.4234308530027473 hops=6.0 ctrl=960 ctrlB=30720 dtx=251 rerr=0 drops=0 nbr=3.8031250000000014",
+    "Zone|sent=75 dlvd=7 dup=0 pdr=0.09333333333333334 delay=0.011501307937278325 maxdelay=0.014028192284975205 hops=5.142857142857143 ctrl=960 ctrlB=30720 dtx=623 rerr=0 drops=1255 nbr=3.814583333333338",
+    "ROVER|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1320 ctrlB=43676 dtx=0 rerr=13 drops=635 nbr=3.813541666666667",
+    "Yan|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1139 ctrlB=37692 dtx=0 rerr=0 drops=95 nbr=3.8031250000000023",
+    "Yan-TBPSS|sent=75 dlvd=0 dup=0 pdr=0.0 delay=0.0 maxdelay=0.0 hops=0.0 ctrl=1139 ctrlB=37704 dtx=0 rerr=0 drops=96 nbr=3.807291666666665",
+    "CAR|sent=75 dlvd=4 dup=0 pdr=0.05333333333333334 delay=0.11262254551842908 maxdelay=0.4234308530027473 hops=6.0 ctrl=960 ctrlB=30720 dtx=250 rerr=0 drops=0 nbr=3.8031250000000014",
+    "REAR|sent=75 dlvd=1 dup=0 pdr=0.013333333333333334 delay=0.010873164722845274 maxdelay=0.010873164722845274 hops=7.0 ctrl=960 ctrlB=30720 dtx=313 rerr=0 drops=0 nbr=3.805208333333331",
+    "GVGrid|sent=75 dlvd=1 dup=0 pdr=0.013333333333333334 delay=0.015663958650240062 maxdelay=0.015663958650240062 hops=8.0 ctrl=960 ctrlB=30720 dtx=305 rerr=0 drops=0 nbr=3.805208333333332",
+];
+
+#[test]
+fn every_protocol_matches_its_pinned_report() {
+    assert_eq!(
+        PINS.len(),
+        ProtocolKind::ALL.len(),
+        "pin list out of sync with ProtocolKind::ALL — regenerate"
+    );
+    let mut failures = Vec::new();
+    for (kind, pin) in ProtocolKind::ALL.into_iter().zip(PINS) {
+        let report = run_scenario(golden_scenario(), kind);
+        let got = fingerprint(&report);
+        if got != *pin {
+            failures.push(format!("{kind:?}:\n  pinned: {pin}\n  got:    {got}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden reports diverged for {} protocol(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Prints the pin list for pasting into `PINS`. Run with `--ignored`.
+#[test]
+#[ignore = "generator, not a check"]
+fn regenerate() {
+    for kind in ProtocolKind::ALL {
+        let report = run_scenario(golden_scenario(), kind);
+        println!("    {:?},", fingerprint(&report));
+    }
+}

@@ -89,13 +89,31 @@ impl SpatialGrid {
     /// would miss nodes further than one cell away.
     #[must_use]
     pub fn candidates_within(&self, center: Position, radius_m: f64) -> Vec<(NodeId, Position)> {
+        let mut out = Vec::new();
+        self.candidates_within_into(center, radius_m, &mut out);
+        out
+    }
+
+    /// The allocation-free form of [`SpatialGrid::candidates_within`]: clears
+    /// `out` and fills it with the candidates, letting callers reuse one
+    /// buffer across queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_m` exceeds the grid's cell size.
+    pub fn candidates_within_into(
+        &self,
+        center: Position,
+        radius_m: f64,
+        out: &mut Vec<(NodeId, Position)>,
+    ) {
         assert!(
             radius_m <= self.cell_m,
             "query radius {radius_m} exceeds grid cell size {}",
             self.cell_m
         );
+        out.clear();
         let (cx, cy) = Self::cell_of(self.cell_m, center);
-        let mut out = Vec::new();
         for dx in -1..=1 {
             for dy in -1..=1 {
                 if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
@@ -104,7 +122,6 @@ impl SpatialGrid {
             }
         }
         out.sort_unstable_by_key(|&(id, _)| id);
-        out
     }
 }
 

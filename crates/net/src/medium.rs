@@ -36,7 +36,7 @@ impl Default for MediumConfig {
 }
 
 /// One frame delivery produced by [`Medium::transmit`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Delivery {
     /// The node receiving the frame.
     pub receiver: NodeId,
@@ -79,6 +79,15 @@ impl MediumStats {
     }
 }
 
+/// Number of `positions` within `range` of `center` (the interference count
+/// against a per-transmission snapshot of the contention window).
+fn count_within(positions: &[Position], center: Position, range: f64) -> usize {
+    positions
+        .iter()
+        .filter(|&&p| distance(p, center) <= range)
+        .count()
+}
+
 /// The shared broadcast medium connecting all nodes.
 #[derive(Debug)]
 pub struct Medium {
@@ -86,6 +95,13 @@ pub struct Medium {
     propagation: Box<dyn PropagationModel + Send>,
     /// Recent transmissions: (time, position). Used to estimate channel load.
     recent: VecDeque<(SimTime, Position)>,
+    /// Positions of the transmissions inside the contention window at the
+    /// time of the current frame — snapshotted once per transmission so the
+    /// per-receiver interference count is a scan of the (small) in-window
+    /// set instead of re-filtering the whole `recent` deque per candidate.
+    snapshot: Vec<Position>,
+    /// Reusable buffer for spatial-grid candidate queries.
+    candidates: Vec<(NodeId, Position)>,
     stats: MediumStats,
 }
 
@@ -97,6 +113,8 @@ impl Medium {
             config,
             propagation,
             recent: VecDeque::new(),
+            snapshot: Vec::new(),
+            candidates: Vec::new(),
             stats: MediumStats::default(),
         }
     }
@@ -162,8 +180,10 @@ impl Medium {
         nodes: &[(NodeId, Position)],
         rng: &mut SimRng,
     ) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
         self.begin_transmission(now, sender_pos, packet);
-        self.deliver(now, sender, sender_pos, packet, nodes, rng)
+        self.deliver(now, sender, sender_pos, packet, nodes, rng, &mut deliveries);
+        deliveries
     }
 
     /// Like [`Medium::transmit`], but takes the candidate receivers from a
@@ -184,21 +204,68 @@ impl Medium {
         grid: &crate::SpatialGrid,
         rng: &mut SimRng,
     ) -> Vec<Delivery> {
-        self.begin_transmission(now, sender_pos, packet);
-        let candidates = grid.candidates_within(sender_pos, self.propagation.max_range());
-        self.deliver(now, sender, sender_pos, packet, &candidates, rng)
+        let mut deliveries = Vec::new();
+        self.transmit_indexed_into(now, sender, sender_pos, packet, grid, rng, &mut deliveries);
+        deliveries
     }
 
-    /// Books the transmission into the contention window and the statistics.
+    /// The allocation-free form of [`Medium::transmit_indexed`]: clears `out`
+    /// and fills it with this frame's deliveries. A driver that owns `out`
+    /// and reuses it across calls pays no per-transmission heap allocation
+    /// once the buffer has warmed up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transmit_indexed_into(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        sender_pos: Position,
+        packet: &Packet,
+        grid: &crate::SpatialGrid,
+        rng: &mut SimRng,
+        out: &mut Vec<Delivery>,
+    ) {
+        out.clear();
+        self.begin_transmission(now, sender_pos, packet);
+        let mut candidates = std::mem::take(&mut self.candidates);
+        grid.candidates_within_into(sender_pos, self.propagation.max_range(), &mut candidates);
+        self.deliver(now, sender, sender_pos, packet, &candidates, rng, out);
+        candidates.clear();
+        self.candidates = candidates;
+    }
+
+    /// Books the transmission into the contention window and the statistics,
+    /// and snapshots the in-window transmission positions (including this
+    /// frame's own) for the interference counts of the delivery pipeline.
+    ///
+    /// The snapshot keeps only entries that could possibly interfere at this
+    /// frame's sender or any of its receivers: every receiver lies within
+    /// `max_range` of the sender, so by the triangle inequality an entry
+    /// further than `max_range + interference_range` from the sender is out
+    /// of interference range of all of them. The extra metre of slack dwarfs
+    /// any floating-point rounding, so the filter never excludes an entry
+    /// the exact per-receiver distance check would have counted.
     fn begin_transmission(&mut self, now: SimTime, sender_pos: Position, packet: &Packet) {
         self.prune_recent(now);
         self.recent.push_back((now, sender_pos));
         self.stats.transmissions.incr();
         self.stats.bytes_transmitted.add(packet.size_bytes() as u64);
+        let window = self.config.mac.contention_window_s;
+        let relevant = self.propagation.max_range() + self.propagation.nominal_range() * 2.0 + 1.0;
+        self.snapshot.clear();
+        self.snapshot.extend(
+            self.recent
+                .iter()
+                .filter(|&&(t, p)| {
+                    now.saturating_since(t).as_secs() <= window
+                        && distance(p, sender_pos) <= relevant
+                })
+                .map(|&(_, p)| p),
+        );
     }
 
     /// Runs the propagation / contention / collision pipeline over the
-    /// candidate receivers, in slice order.
+    /// candidate receivers, in slice order, appending to `out`.
+    #[allow(clippy::too_many_arguments)]
     fn deliver(
         &mut self,
         now: SimTime,
@@ -207,21 +274,24 @@ impl Medium {
         packet: &Packet,
         nodes: &[(NodeId, Position)],
         rng: &mut SimRng,
-    ) -> Vec<Delivery> {
-        // `begin_transmission` has already pushed this frame into the window,
-        // so discount it when counting contenders.
-        let contenders = self.channel_load(now, sender_pos).saturating_sub(1);
+        out: &mut Vec<Delivery>,
+    ) {
+        let interference_range = self.propagation.nominal_range() * 2.0;
+        // `begin_transmission` has already pushed this frame into the window
+        // (and the snapshot), so discount it when counting contenders.
+        let contenders =
+            count_within(&self.snapshot, sender_pos, interference_range).saturating_sub(1);
         let backoff = self.config.mac.sample_backoff(contenders, rng);
         let tx_delay = self.config.mac.transmission_delay(packet.size_bytes());
         let processing = vanet_sim::SimDuration::from_secs(self.config.mac.processing_delay_s);
+        let max_range = self.propagation.max_range();
 
-        let mut deliveries = Vec::new();
         for &(node, pos) in nodes {
             if node == sender {
                 continue;
             }
             let d = distance(sender_pos, pos);
-            if d > self.propagation.max_range() {
+            if d > max_range {
                 continue;
             }
             // Unicast frames are only *delivered* to the intended next hop
@@ -237,7 +307,8 @@ impl Medium {
                 self.stats.propagation_losses.incr();
                 continue;
             }
-            let interferers = self.channel_load(now, pos).saturating_sub(1);
+            let interferers =
+                count_within(&self.snapshot, pos, interference_range).saturating_sub(1);
             if !self.config.mac.sample_collision_survival(interferers, rng) {
                 self.stats.collision_losses.incr();
                 continue;
@@ -245,14 +316,13 @@ impl Medium {
             let arrival =
                 now + processing + backoff + tx_delay + self.config.mac.propagation_delay(d);
             self.stats.deliveries.incr();
-            deliveries.push(Delivery {
+            out.push(Delivery {
                 receiver: node,
                 arrival,
                 intended,
                 distance_m: d,
             });
         }
-        deliveries
     }
 
     /// Whether two positions are within nominal communication range: the

@@ -7,7 +7,7 @@
 //! hop by hop along the resulting distance-vector routes.
 
 use crate::common::{RouteEntry, RoutingTable};
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use vanet_net::{Packet, PacketKind};
 use vanet_sim::{NodeId, SeqNo, SimDuration, SimTime};
 
@@ -75,30 +75,22 @@ impl Dsdv {
         ctx.new_control_packet(PacketKind::TopologyUpdate { entries })
     }
 
-    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(packet, DropReason::NoRoute);
+            return;
         };
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
         match self.table.route(dest, ctx.now) {
             Some(route) => {
                 let next = route.next_hop;
-                vec![Action::Transmit(
-                    ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
-                )]
+                let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(next)));
+                ctx.transmit(fwd);
             }
-            None => vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }],
+            None => ctx.drop_packet(packet, DropReason::NoRoute),
         }
     }
 }
@@ -118,25 +110,21 @@ impl RoutingProtocol for Dsdv {
         Category::Connectivity
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
-        self.forward_data(ctx, packet)
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
+        self.forward_data(ctx, &packet);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool) {
         match &packet.kind {
             PacketKind::Data => {
                 if packet.destination == Some(ctx.node) {
-                    return vec![Action::Deliver(packet)];
+                    ctx.deliver(packet);
+                    return;
                 }
                 if overheard {
-                    return Vec::new();
+                    return;
                 }
-                self.forward_data(ctx, packet)
+                self.forward_data(ctx, packet);
             }
             PacketKind::TopologyUpdate { entries } => {
                 let from = packet.prev_hop;
@@ -153,39 +141,33 @@ impl RoutingProtocol for Dsdv {
                         expires_at: ctx.now + self.config.route_lifetime,
                     });
                 }
-                Vec::new()
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
         let due = match self.last_update {
             None => true,
             Some(t) => ctx.now.saturating_since(t) >= self.config.update_interval,
         };
         if !due {
-            return Vec::new();
+            return;
         }
         self.last_update = Some(ctx.now);
         let update = self.build_update(ctx);
-        vec![Action::Transmit(update)]
+        ctx.transmit(update);
     }
 
-    fn on_neighbor_lost(
-        &mut self,
-        _ctx: &mut ProtocolContext<'_>,
-        neighbor: NodeId,
-    ) -> Vec<Action> {
+    fn on_neighbor_lost(&mut self, _ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
         self.table.invalidate_next_hop(neighbor);
-        Vec::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::NoLocationService;
+    use crate::protocol::{Action, ActionSink, NoLocationService};
     use vanet_mobility::{Vec2, VehicleKind, VehicleState};
     use vanet_net::NeighborTable;
     use vanet_sim::{PacketIdAllocator, SimRng};
@@ -195,6 +177,7 @@ mod tests {
         neighbors: NeighborTable,
         rng: SimRng,
         ids: PacketIdAllocator,
+        sink: ActionSink,
     }
 
     impl Harness {
@@ -204,6 +187,7 @@ mod tests {
                 neighbors: NeighborTable::new(),
                 rng: SimRng::new(1),
                 ids: PacketIdAllocator::new(),
+                sink: ActionSink::new(),
             }
         }
 
@@ -219,6 +203,7 @@ mod tests {
                 location: &NoLocationService,
                 rng: &mut self.rng,
                 packet_ids: &mut self.ids,
+                actions: &mut self.sink,
             }
         }
     }
@@ -227,14 +212,26 @@ mod tests {
     fn periodic_updates_are_rate_limited() {
         let mut dsdv = Dsdv::new();
         let mut h = Harness::new(1);
-        let first = dsdv.on_tick(&mut h.ctx(0.0));
+        let first = {
+            let mut ctx = h.ctx(0.0);
+            dsdv.on_tick(&mut ctx);
+            ctx.take_actions()
+        };
         assert_eq!(first.len(), 1);
         assert!(
             matches!(&first[0], Action::Transmit(p) if matches!(p.kind, PacketKind::TopologyUpdate { .. }))
         );
-        let too_soon = dsdv.on_tick(&mut h.ctx(1.0));
+        let too_soon = {
+            let mut ctx = h.ctx(1.0);
+            dsdv.on_tick(&mut ctx);
+            ctx.take_actions()
+        };
         assert!(too_soon.is_empty());
-        let later = dsdv.on_tick(&mut h.ctx(3.0));
+        let later = {
+            let mut ctx = h.ctx(3.0);
+            dsdv.on_tick(&mut ctx);
+            ctx.take_actions()
+        };
         assert_eq!(later.len(), 1);
     }
 
@@ -250,7 +247,7 @@ mod tests {
             0,
         );
         update.prev_hop = NodeId(2);
-        dsdv.on_packet(&mut h.ctx(1.0), update, false);
+        dsdv.on_packet(&mut h.ctx(1.0), &update, false);
         let to_2 = dsdv
             .routing_table()
             .route(NodeId(2), SimTime::from_secs(1.0))
@@ -277,7 +274,7 @@ mod tests {
             0,
         );
         via_2.prev_hop = NodeId(2);
-        dsdv.on_packet(&mut h.ctx(1.0), via_2, false);
+        dsdv.on_packet(&mut h.ctx(1.0), &via_2, false);
         // A stale advert through node 3 with an older sequence is ignored even
         // though it claims fewer hops.
         let mut via_3 = Packet::broadcast(
@@ -288,7 +285,7 @@ mod tests {
             0,
         );
         via_3.prev_hop = NodeId(3);
-        dsdv.on_packet(&mut h.ctx(1.1), via_3, false);
+        dsdv.on_packet(&mut h.ctx(1.1), &via_3, false);
         assert_eq!(
             dsdv.routing_table()
                 .route(NodeId(5), SimTime::from_secs(1.2))
@@ -302,7 +299,11 @@ mod tests {
     fn data_follows_table_or_is_dropped() {
         let mut dsdv = Dsdv::new();
         let mut h = Harness::new(1);
-        let no_route = dsdv.originate(&mut h.ctx(1.0), Packet::data(NodeId(1), NodeId(9), 10));
+        let no_route = {
+            let mut ctx = h.ctx(1.0);
+            dsdv.originate(&mut ctx, Packet::data(NodeId(1), NodeId(9), 10));
+            ctx.take_actions()
+        };
         assert!(matches!(
             no_route[0],
             Action::Drop {
@@ -318,15 +319,19 @@ mod tests {
             0,
         );
         update.prev_hop = NodeId(4);
-        dsdv.on_packet(&mut h.ctx(1.0), update, false);
-        let routed = dsdv.originate(&mut h.ctx(1.5), Packet::data(NodeId(1), NodeId(9), 10));
+        dsdv.on_packet(&mut h.ctx(1.0), &update, false);
+        let routed = {
+            let mut ctx = h.ctx(1.5);
+            dsdv.originate(&mut ctx, Packet::data(NodeId(1), NodeId(9), 10));
+            ctx.take_actions()
+        };
         assert!(matches!(&routed[0], Action::Transmit(p) if p.next_hop == Some(NodeId(4))));
         // Delivery at destination.
-        let deliver = dsdv.on_packet(
-            &mut h.ctx(2.0),
-            Packet::data(NodeId(7), NodeId(1), 10),
-            false,
-        );
+        let deliver = {
+            let mut ctx = h.ctx(2.0);
+            dsdv.on_packet(&mut ctx, &Packet::data(NodeId(7), NodeId(1), 10), false);
+            ctx.take_actions()
+        };
         assert!(matches!(deliver[0], Action::Deliver(_)));
     }
 
@@ -342,7 +347,7 @@ mod tests {
             0,
         );
         update.prev_hop = NodeId(2);
-        dsdv.on_packet(&mut h.ctx(1.0), update, false);
+        dsdv.on_packet(&mut h.ctx(1.0), &update, false);
         dsdv.on_neighbor_lost(&mut h.ctx(2.0), NodeId(2));
         assert!(dsdv
             .routing_table()

@@ -2,7 +2,7 @@
 //! implicit acknowledgements (Sec. III).
 
 use crate::common::SeenCache;
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use std::collections::BTreeMap;
 use vanet_net::Packet;
 use vanet_sim::{PacketId, SimDuration, SimTime};
@@ -43,49 +43,35 @@ impl RoutingProtocol for Flooding {
         Category::Connectivity
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
         self.seen
             .check_and_insert(packet.source, packet.id.value(), ctx.now);
         let mut copy = ctx.stamp(packet);
         copy.next_hop = None;
-        vec![Action::Transmit(copy)]
+        ctx.transmit(copy);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        _overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, _overheard: bool) {
         if self
             .seen
             .check_and_insert(packet.source, packet.id.value(), ctx.now)
         {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::Duplicate,
-            }];
+            ctx.drop_packet(packet, DropReason::Duplicate);
+            return;
         }
-        let mut actions = Vec::new();
         if packet.destination == Some(ctx.node) {
-            actions.push(Action::Deliver(packet));
-            return actions;
+            ctx.deliver(packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            actions.push(Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            });
-            return actions;
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
         let fwd = ctx.stamp(packet.forwarded_by(ctx.node, None));
-        actions.push(Action::Transmit(fwd));
-        actions
+        ctx.transmit(fwd);
     }
 
-    fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        Vec::new()
-    }
+    fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) {}
 }
 
 /// Biswas-style flooding with implicit acknowledgements: after rebroadcasting
@@ -121,17 +107,13 @@ impl Biswas {
         self.awaiting_ack.len()
     }
 
-    fn rebroadcast_and_track(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-    ) -> Vec<Action> {
+    fn rebroadcast_and_track(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let fwd = ctx.stamp(packet.forwarded_by(ctx.node, None));
         self.awaiting_ack.insert(
             fwd.id,
             (fwd.clone(), ctx.now + self.retry_interval, self.max_retries),
         );
-        vec![Action::Transmit(fwd)]
+        ctx.transmit(fwd);
     }
 }
 
@@ -150,7 +132,7 @@ impl RoutingProtocol for Biswas {
         Category::Connectivity
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
         self.seen
             .check_and_insert(packet.source, packet.id.value(), ctx.now);
         let mut copy = ctx.stamp(packet);
@@ -163,15 +145,10 @@ impl RoutingProtocol for Biswas {
                 self.max_retries,
             ),
         );
-        vec![Action::Transmit(copy)]
+        ctx.transmit(copy);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        _overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, _overheard: bool) {
         // Hearing any copy of a packet we are tracking counts as the implicit
         // acknowledgement that somebody downstream got it.
         if packet.prev_hop != ctx.node {
@@ -181,25 +158,21 @@ impl RoutingProtocol for Biswas {
             .seen
             .check_and_insert(packet.source, packet.id.value(), ctx.now)
         {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::Duplicate,
-            }];
+            ctx.drop_packet(packet, DropReason::Duplicate);
+            return;
         }
         if packet.destination == Some(ctx.node) {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
-        self.rebroadcast_and_track(ctx, packet)
+        self.rebroadcast_and_track(ctx, packet);
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
         let now = ctx.now;
         let retry_interval = self.retry_interval;
         let mut to_retry = Vec::new();
@@ -219,32 +192,41 @@ impl RoutingProtocol for Biswas {
             self.awaiting_ack.remove(&id);
         }
         for packet in to_retry {
-            actions.push(Action::Transmit(ctx.stamp(packet)));
+            let stamped = ctx.stamp(packet);
+            ctx.transmit(stamped);
         }
-        actions
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::NoLocationService;
+    use crate::protocol::{Action, ActionSink, NoLocationService};
     use vanet_mobility::{VehicleKind, VehicleState};
     use vanet_net::{NeighborTable, PacketKind};
     use vanet_sim::NodeId;
     use vanet_sim::{PacketIdAllocator, SimRng};
 
-    fn make_ctx_parts(node: u32) -> (VehicleState, NeighborTable, SimRng, PacketIdAllocator) {
+    fn make_ctx_parts(
+        node: u32,
+    ) -> (
+        VehicleState,
+        NeighborTable,
+        SimRng,
+        PacketIdAllocator,
+        ActionSink,
+    ) {
         (
             VehicleState::stationary(NodeId(node), VehicleKind::Car, vanet_mobility::Vec2::ZERO),
             NeighborTable::new(),
             SimRng::new(1),
             PacketIdAllocator::new(),
+            ActionSink::new(),
         )
     }
 
     macro_rules! ctx {
-        ($node:expr, $state:expr, $nbrs:expr, $rng:expr, $ids:expr) => {
+        ($node:expr, $state:expr, $nbrs:expr, $rng:expr, $ids:expr, $sink:expr) => {
             ProtocolContext {
                 node: NodeId($node),
                 now: SimTime::ZERO,
@@ -256,6 +238,7 @@ mod tests {
                 location: &NoLocationService,
                 rng: &mut $rng,
                 packet_ids: &mut $ids,
+                actions: &mut $sink,
             }
         };
     }
@@ -269,12 +252,14 @@ mod tests {
     #[test]
     fn flooding_rebroadcasts_new_packets_once() {
         let mut proto = Flooding::new();
-        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(2);
-        let mut ctx = ctx!(2, state, nbrs, rng, ids);
+        let (state, nbrs, mut rng, mut ids, mut sink) = make_ctx_parts(2);
+        let mut ctx = ctx!(2, state, nbrs, rng, ids, sink);
         let pkt = data_packet(1, 0, 9);
-        let first = proto.on_packet(&mut ctx, pkt.clone(), false);
+        proto.on_packet(&mut ctx, &pkt, false);
+        let first = ctx.take_actions();
         assert!(matches!(first[0], Action::Transmit(_)));
-        let second = proto.on_packet(&mut ctx, pkt, false);
+        proto.on_packet(&mut ctx, &pkt, false);
+        let second = ctx.take_actions();
         assert!(matches!(
             second[0],
             Action::Drop {
@@ -287,9 +272,10 @@ mod tests {
     #[test]
     fn flooding_delivers_at_destination() {
         let mut proto = Flooding::new();
-        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(9);
-        let mut ctx = ctx!(9, state, nbrs, rng, ids);
-        let actions = proto.on_packet(&mut ctx, data_packet(1, 0, 9), false);
+        let (state, nbrs, mut rng, mut ids, mut sink) = make_ctx_parts(9);
+        let mut ctx = ctx!(9, state, nbrs, rng, ids, sink);
+        proto.on_packet(&mut ctx, &data_packet(1, 0, 9), false);
+        let actions = ctx.take_actions();
         assert_eq!(actions.len(), 1);
         assert!(matches!(actions[0], Action::Deliver(_)));
     }
@@ -297,11 +283,12 @@ mod tests {
     #[test]
     fn flooding_respects_ttl() {
         let mut proto = Flooding::new();
-        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(2);
-        let mut ctx = ctx!(2, state, nbrs, rng, ids);
+        let (state, nbrs, mut rng, mut ids, mut sink) = make_ctx_parts(2);
+        let mut ctx = ctx!(2, state, nbrs, rng, ids, sink);
         let mut pkt = data_packet(1, 0, 9);
         pkt.ttl = 0;
-        let actions = proto.on_packet(&mut ctx, pkt, false);
+        proto.on_packet(&mut ctx, &pkt, false);
+        let actions = ctx.take_actions();
         assert!(matches!(
             actions[0],
             Action::Drop {
@@ -314,9 +301,10 @@ mod tests {
     #[test]
     fn flooding_originate_broadcasts() {
         let mut proto = Flooding::new();
-        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(0);
-        let mut ctx = ctx!(0, state, nbrs, rng, ids);
-        let actions = proto.originate(&mut ctx, data_packet(1, 0, 9));
+        let (state, nbrs, mut rng, mut ids, mut sink) = make_ctx_parts(0);
+        let mut ctx = ctx!(0, state, nbrs, rng, ids, sink);
+        proto.originate(&mut ctx, data_packet(1, 0, 9));
+        let actions = ctx.take_actions();
         match &actions[0] {
             Action::Transmit(p) => {
                 assert!(p.is_link_broadcast());
@@ -329,21 +317,31 @@ mod tests {
     #[test]
     fn biswas_retries_until_ack_overheard() {
         let mut proto = Biswas::new();
-        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(2);
-        let mut ctx = ctx!(2, state, nbrs, rng, ids);
+        let (state, nbrs, mut rng, mut ids, mut sink) = make_ctx_parts(2);
         let pkt = data_packet(1, 0, 9);
-        let actions = proto.on_packet(&mut ctx, pkt.clone(), false);
+        let actions = {
+            let mut ctx = ctx!(2, state, nbrs, rng, ids, sink);
+            proto.on_packet(&mut ctx, &pkt, false);
+            ctx.take_actions()
+        };
         assert!(matches!(actions[0], Action::Transmit(_)));
         assert_eq!(proto.pending_acks(), 1);
 
         // Tick before the deadline: nothing happens.
-        let none = proto.on_tick(&mut ctx!(2, state, nbrs, rng, ids));
+        let none = {
+            let mut ctx = ctx!(2, state, nbrs, rng, ids, sink);
+            proto.on_tick(&mut ctx);
+            ctx.take_actions()
+        };
         assert!(none.is_empty());
 
         // Tick after the deadline: the packet is retransmitted.
-        let mut later = ctx!(2, state, nbrs, rng, ids);
-        later.now = SimTime::from_secs(2.0);
-        let retries = proto.on_tick(&mut later);
+        let retries = {
+            let mut later = ctx!(2, state, nbrs, rng, ids, sink);
+            later.now = SimTime::from_secs(2.0);
+            proto.on_tick(&mut later);
+            later.take_actions()
+        };
         assert_eq!(retries.len(), 1);
         assert!(matches!(retries[0], Action::Transmit(_)));
 
@@ -356,26 +354,28 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let mut again = ctx!(2, state, nbrs, rng, ids);
+        let mut again = ctx!(2, state, nbrs, rng, ids, sink);
         again.now = SimTime::from_secs(2.5);
-        proto.on_packet(&mut again, overheard_copy, true);
+        proto.on_packet(&mut again, &overheard_copy, true);
         assert_eq!(proto.pending_acks(), 0);
     }
 
     #[test]
     fn biswas_gives_up_after_max_retries() {
         let mut proto = Biswas::new();
-        let (state, nbrs, mut rng, mut ids) = make_ctx_parts(0);
+        let (state, nbrs, mut rng, mut ids, mut sink) = make_ctx_parts(0);
         {
-            let mut ctx = ctx!(0, state, nbrs, rng, ids);
+            let mut ctx = ctx!(0, state, nbrs, rng, ids, sink);
             proto.originate(&mut ctx, data_packet(1, 0, 9));
+            ctx.take_actions();
         }
         assert_eq!(proto.pending_acks(), 1);
         let mut transmissions = 0;
         for i in 1..12 {
-            let mut ctx = ctx!(0, state, nbrs, rng, ids);
+            let mut ctx = ctx!(0, state, nbrs, rng, ids, sink);
             ctx.now = SimTime::from_secs(i as f64 * 1.5);
-            transmissions += proto.on_tick(&mut ctx).len();
+            proto.on_tick(&mut ctx);
+            transmissions += ctx.take_actions().len();
         }
         assert_eq!(transmissions, 3, "exactly max_retries retransmissions");
         assert_eq!(proto.pending_acks(), 0);

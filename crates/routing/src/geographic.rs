@@ -7,7 +7,7 @@
 //! briefly when no neighbour qualifies (local maximum) — and differ only in
 //! the scoring function, captured by [`NextHopScorer`].
 
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use std::collections::VecDeque;
 use std::fmt::Debug;
 use vanet_links::probability::{
@@ -102,27 +102,22 @@ impl<S: NextHopScorer> GeoRouting<S> {
             .or(packet.geo.map(|g| g.position))
     }
 
-    fn forward(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) -> Vec<Action> {
+    fn forward(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) {
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(&packet, DropReason::NoRoute);
+            return;
         };
         if dest == ctx.node {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(&packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(&packet, DropReason::TtlExpired);
+            return;
         }
         let Some(dest_pos) = self.destination_position(ctx, &packet) else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(&packet, DropReason::NoRoute);
+            return;
         };
         packet.geo = Some(GeoAddress {
             position: dest_pos,
@@ -130,9 +125,9 @@ impl<S: NextHopScorer> GeoRouting<S> {
         });
         // If the destination itself is a fresh neighbour, hand over directly.
         if ctx.neighbors.contains(dest) {
-            return vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
-            )];
+            let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(dest)));
+            ctx.transmit(fwd);
+            return;
         }
         // Otherwise pick the best-scoring neighbour.
         let mut best: Option<(f64, vanet_sim::NodeId)> = None;
@@ -148,19 +143,17 @@ impl<S: NextHopScorer> GeoRouting<S> {
             }
         }
         match best {
-            Some((_, next)) => vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
-            )],
+            Some((_, next)) => {
+                let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(next)));
+                ctx.transmit(fwd);
+            }
             None => {
                 // Local maximum: carry the packet briefly.
                 if self.carried.len() >= self.config.carry_capacity {
-                    return vec![Action::Drop {
-                        packet,
-                        reason: DropReason::BufferOverflow,
-                    }];
+                    ctx.drop_packet(&packet, DropReason::BufferOverflow);
+                    return;
                 }
                 self.carried.push_back((ctx.now, packet));
-                Vec::new()
             }
         }
     }
@@ -179,47 +172,38 @@ impl<S: NextHopScorer> RoutingProtocol for GeoRouting<S> {
         Some(self.config.beacon_interval)
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
-        self.forward(ctx, packet)
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
+        self.forward(ctx, packet);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action> {
-        match packet.kind {
-            PacketKind::Data => {
-                if packet.destination == Some(ctx.node) {
-                    return vec![Action::Deliver(packet)];
-                }
-                if overheard {
-                    return Vec::new();
-                }
-                self.forward(ctx, packet)
-            }
-            _ => Vec::new(),
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool) {
+        if packet.kind != PacketKind::Data {
+            return;
         }
+        if packet.destination == Some(ctx.node) {
+            ctx.deliver(packet);
+            return;
+        }
+        if overheard {
+            return;
+        }
+        self.forward(ctx, packet.clone());
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
+        if self.carried.is_empty() {
+            return;
+        }
         let carried: Vec<(SimTime, Packet)> = self.carried.drain(..).collect();
         for (since, packet) in carried {
             if ctx.now.saturating_since(since) > self.config.carry_timeout {
-                actions.push(Action::Drop {
-                    packet,
-                    reason: DropReason::LocalMaximum,
-                });
+                ctx.drop_packet(&packet, DropReason::LocalMaximum);
             } else {
-                let retried = self.forward(ctx, packet);
-                // `forward` may re-buffer the packet; keep whatever actions
-                // (transmit/deliver/drop) it produced.
-                actions.extend(retried);
+                // `forward` may re-buffer the packet; whatever actions
+                // (transmit/deliver/drop) it pushes stay in the sink.
+                self.forward(ctx, packet);
             }
         }
-        actions
     }
 }
 
@@ -481,7 +465,7 @@ pub fn gvgrid() -> GvGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::TableLocationService;
+    use crate::protocol::{Action, ActionSink, TableLocationService};
     use vanet_mobility::{Vec2, VehicleKind, VehicleState};
     use vanet_net::NeighborTable;
     use vanet_sim::{NodeId, PacketIdAllocator, SimRng};
@@ -492,6 +476,7 @@ mod tests {
         location: TableLocationService,
         rng: SimRng,
         ids: PacketIdAllocator,
+        sink: ActionSink,
     }
 
     impl Harness {
@@ -505,6 +490,7 @@ mod tests {
                 location: TableLocationService::new(),
                 rng: SimRng::new(1),
                 ids: PacketIdAllocator::new(),
+                sink: ActionSink::new(),
             }
         }
 
@@ -530,6 +516,7 @@ mod tests {
                 location: &self.location,
                 rng: &mut self.rng,
                 packet_ids: &mut self.ids,
+                actions: &mut self.sink,
             }
         }
     }
@@ -545,7 +532,8 @@ mod tests {
         let mut proto = greedy();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100));
+            ctx.take_actions()
         };
         assert_eq!(actions.len(), 1);
         match &actions[0] {
@@ -566,7 +554,8 @@ mod tests {
         let mut proto = greedy();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100));
+            ctx.take_actions()
         };
         match &actions[0] {
             Action::Transmit(p) => assert_eq!(p.next_hop, Some(NodeId(2))),
@@ -583,21 +572,24 @@ mod tests {
         let mut proto = greedy();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100));
+            ctx.take_actions()
         };
         assert!(actions.is_empty(), "packet is carried, not dropped yet");
         assert_eq!(proto.carried_packets(), 1);
         // Within the carry window the packet is retried (and re-carried).
         let retry = {
             let mut ctx = h.ctx(3.0);
-            proto.on_tick(&mut ctx)
+            proto.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(retry.is_empty());
         assert_eq!(proto.carried_packets(), 1);
         // After the timeout it is dropped as a local maximum.
         let expired = {
             let mut ctx = h.ctx(10.0);
-            proto.on_tick(&mut ctx)
+            proto.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(matches!(
             expired[0],
@@ -623,7 +615,8 @@ mod tests {
         h.add_neighbor(4, 180.0, 20.0);
         let actions = {
             let mut ctx = h.ctx(2.0);
-            proto.on_tick(&mut ctx)
+            proto.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(4))));
         assert_eq!(proto.carried_packets(), 0);
@@ -637,7 +630,8 @@ mod tests {
         let mut proto = greedy();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100));
+            ctx.take_actions()
         };
         assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(9))));
     }
@@ -648,7 +642,8 @@ mod tests {
         let mut proto = greedy();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100))
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 100));
+            ctx.take_actions()
         };
         assert!(matches!(
             actions[0],

@@ -9,7 +9,7 @@
 //! * **Bus** (Kitani et al.): buses on regular routes carry packets across
 //!   connectivity gaps (store–carry–forward) thanks to their large storage.
 
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use std::collections::VecDeque;
 use vanet_mobility::geometry::distance;
 use vanet_net::{Packet, PacketKind};
@@ -100,19 +100,17 @@ impl Drr {
             .map(|(r, _)| r)
     }
 
-    fn handle_as_rsu(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_as_rsu(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(packet, DropReason::NoRoute);
+            return;
         };
         // Deliver directly if the destination is in radio range of this RSU.
         if let Some(dest_pos) = ctx.location.position_of(dest) {
             if distance(dest_pos, ctx.position()) <= ctx.range_m {
-                return vec![Action::Transmit(
-                    ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
-                )];
+                let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(dest)));
+                ctx.transmit(fwd);
+                return;
             }
             // Otherwise ship it over the backbone to the RSU nearest the
             // destination (if that is not us).
@@ -123,43 +121,36 @@ impl Drr {
                     .position_of(better_rsu)
                     .map_or(f64::INFINITY, |p| distance(p, dest_pos));
                 if their_distance + 1.0 < own_distance {
-                    return vec![Action::BackboneSend {
-                        to: better_rsu,
-                        packet,
-                    }];
+                    ctx.backbone_send(better_rsu, packet.clone());
+                    return;
                 }
             }
         }
         // We are the best-placed RSU but the destination is out of range:
         // buffer and retry on subsequent ticks (the VEN behaviour).
         if self.buffer.len() >= self.config.rsu_buffer_capacity {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::BufferOverflow,
-            }];
+            ctx.drop_packet(packet, DropReason::BufferOverflow);
+            return;
         }
-        self.buffer.push_back((ctx.now, packet));
-        Vec::new()
+        self.buffer.push_back((ctx.now, packet.clone()));
     }
 
-    fn handle_as_vehicle(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_as_vehicle(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(packet, DropReason::NoRoute);
+            return;
         };
         // Direct neighbour? Hand it over.
         if ctx.neighbors.contains(dest) {
-            return vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
-            )];
+            let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(dest)));
+            ctx.transmit(fwd);
+            return;
         }
         // RSU in range? Give the packet to the infrastructure.
         if let Some(rsu) = Self::rsu_in_range(ctx) {
-            return vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, Some(rsu))),
-            )];
+            let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(rsu)));
+            ctx.transmit(fwd);
+            return;
         }
         // Otherwise forward greedily towards the nearest RSU.
         if let Some(rsu) = Self::closest_rsu_to(ctx, ctx.position()) {
@@ -167,37 +158,33 @@ impl Drr {
                 let own = distance(ctx.position(), rsu_pos);
                 if let Some(next) = ctx.neighbors.greedy_next_hop(rsu_pos, own) {
                     let next_id = next.id;
-                    return vec![Action::Transmit(
-                        ctx.stamp(packet.forwarded_by(ctx.node, Some(next_id))),
-                    )];
+                    let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(next_id)));
+                    ctx.transmit(fwd);
+                    return;
                 }
             }
         }
         // Nobody to hand the packet to: carry it for a while.
         if self.buffer.len() >= self.config.rsu_buffer_capacity {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::BufferOverflow,
-            }];
+            ctx.drop_packet(packet, DropReason::BufferOverflow);
+            return;
         }
-        self.buffer.push_back((ctx.now, packet));
-        Vec::new()
+        self.buffer.push_back((ctx.now, packet.clone()));
     }
 
-    fn process(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn process(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         if packet.destination == Some(ctx.node) {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
         if ctx.is_rsu() {
-            self.handle_as_rsu(ctx, packet)
+            self.handle_as_rsu(ctx, packet);
         } else {
-            self.handle_as_vehicle(ctx, packet)
+            self.handle_as_vehicle(ctx, packet);
         }
     }
 }
@@ -221,42 +208,36 @@ impl RoutingProtocol for Drr {
         Some(self.config.beacon_interval)
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
-        self.process(ctx, packet)
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
+        self.process(ctx, &packet);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool) {
         if packet.kind != PacketKind::Data {
-            return Vec::new();
+            return;
         }
         if packet.destination == Some(ctx.node) {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(packet);
+            return;
         }
         if overheard {
-            return Vec::new();
+            return;
         }
-        self.process(ctx, packet)
+        self.process(ctx, packet);
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
+        if self.buffer.is_empty() {
+            return;
+        }
         let buffered: Vec<(SimTime, Packet)> = self.buffer.drain(..).collect();
         for (since, packet) in buffered {
             if ctx.now.saturating_since(since) > self.config.rsu_buffer_timeout {
-                actions.push(Action::Drop {
-                    packet,
-                    reason: DropReason::Expired,
-                });
+                ctx.drop_packet(&packet, DropReason::Expired);
             } else {
-                actions.extend(self.process(ctx, packet));
+                self.process(ctx, &packet);
             }
         }
-        actions
     }
 }
 
@@ -321,27 +302,24 @@ impl BusFerry {
         }
     }
 
-    fn process(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn process(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         if packet.destination == Some(ctx.node) {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(packet, DropReason::NoRoute);
+            return;
         };
         // Destination in range: hand over.
         if ctx.neighbors.contains(dest) {
-            return vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, Some(dest))),
-            )];
+            let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(dest)));
+            ctx.transmit(fwd);
+            return;
         }
         // A bus in range (and we are not a bus ourselves): hand the packet to
         // the ferry.
@@ -352,20 +330,17 @@ impl BusFerry {
                 .find(|&&b| b != ctx.node && ctx.neighbors.contains(b))
                 .copied();
             if let Some(bus) = bus_in_range {
-                return vec![Action::Transmit(
-                    ctx.stamp(packet.forwarded_by(ctx.node, Some(bus))),
-                )];
+                let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(bus)));
+                ctx.transmit(fwd);
+                return;
             }
         }
         // Otherwise carry.
         if self.buffer.len() >= self.capacity(ctx) {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::BufferOverflow,
-            }];
+            ctx.drop_packet(packet, DropReason::BufferOverflow);
+            return;
         }
-        self.buffer.push_back((ctx.now, packet));
-        Vec::new()
+        self.buffer.push_back((ctx.now, packet.clone()));
     }
 }
 
@@ -388,49 +363,43 @@ impl RoutingProtocol for BusFerry {
         Some(self.config.beacon_interval)
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
-        self.process(ctx, packet)
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
+        self.process(ctx, &packet);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool) {
         if packet.kind != PacketKind::Data {
-            return Vec::new();
+            return;
         }
         if packet.destination == Some(ctx.node) {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(packet);
+            return;
         }
         if overheard {
-            return Vec::new();
+            return;
         }
-        self.process(ctx, packet)
+        self.process(ctx, packet);
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
+        if self.buffer.is_empty() {
+            return;
+        }
         let buffered: Vec<(SimTime, Packet)> = self.buffer.drain(..).collect();
         for (since, packet) in buffered {
             if ctx.now.saturating_since(since) > self.config.bus_buffer_timeout {
-                actions.push(Action::Drop {
-                    packet,
-                    reason: DropReason::Expired,
-                });
+                ctx.drop_packet(&packet, DropReason::Expired);
             } else {
-                actions.extend(self.process(ctx, packet));
+                self.process(ctx, &packet);
             }
         }
-        actions
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::TableLocationService;
+    use crate::protocol::{Action, ActionSink, TableLocationService};
     use vanet_mobility::{Vec2, VehicleKind, VehicleState};
     use vanet_net::NeighborTable;
     use vanet_sim::{PacketIdAllocator, SimRng};
@@ -443,6 +412,7 @@ mod tests {
         buses: Vec<NodeId>,
         rng: SimRng,
         ids: PacketIdAllocator,
+        sink: ActionSink,
     }
 
     impl Harness {
@@ -455,6 +425,7 @@ mod tests {
                 buses: Vec::new(),
                 rng: SimRng::new(1),
                 ids: PacketIdAllocator::new(),
+                sink: ActionSink::new(),
             }
         }
 
@@ -470,6 +441,7 @@ mod tests {
                 location: &self.location,
                 rng: &mut self.rng,
                 packet_ids: &mut self.ids,
+                actions: &mut self.sink,
             }
         }
     }
@@ -485,7 +457,8 @@ mod tests {
         let mut drr = Drr::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            drr.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+            drr.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            ctx.take_actions()
         };
         assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(100))));
     }
@@ -501,7 +474,8 @@ mod tests {
         let mut drr = Drr::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            drr.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false)
+            drr.on_packet(&mut ctx, &Packet::data(NodeId(0), NodeId(9), 64), false);
+            ctx.take_actions()
         };
         assert!(matches!(
             &actions[0],
@@ -519,7 +493,8 @@ mod tests {
         let mut drr = Drr::new();
         let buffered = {
             let mut ctx = h.ctx(1.0);
-            drr.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false)
+            drr.on_packet(&mut ctx, &Packet::data(NodeId(0), NodeId(9), 64), false);
+            ctx.take_actions()
         };
         assert!(buffered.is_empty());
         assert_eq!(drr.buffered_packets(), 1);
@@ -527,7 +502,8 @@ mod tests {
         h.location.set(NodeId(9), Vec2::new(100.0, 0.0), Vec2::ZERO);
         let actions = {
             let mut ctx = h.ctx(5.0);
-            drr.on_tick(&mut ctx)
+            drr.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(9))));
         assert_eq!(drr.buffered_packets(), 0);
@@ -542,11 +518,12 @@ mod tests {
         let mut drr = Drr::new();
         {
             let mut ctx = h.ctx(1.0);
-            drr.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false);
+            drr.on_packet(&mut ctx, &Packet::data(NodeId(0), NodeId(9), 64), false);
         }
         let actions = {
             let mut ctx = h.ctx(500.0);
-            drr.on_tick(&mut ctx)
+            drr.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(matches!(
             actions[0],
@@ -572,7 +549,8 @@ mod tests {
         let mut proto_car = BusFerry::new();
         let handed = {
             let mut ctx = car.ctx(1.0);
-            proto_car.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+            proto_car.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            ctx.take_actions()
         };
         assert!(matches!(&handed[0], Action::Transmit(p) if p.next_hop == Some(NodeId(50))));
 
@@ -582,7 +560,8 @@ mod tests {
         let mut proto_bus = BusFerry::new();
         let carried = {
             let mut ctx = bus.ctx(2.0);
-            proto_bus.on_packet(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64), false)
+            proto_bus.on_packet(&mut ctx, &Packet::data(NodeId(0), NodeId(9), 64), false);
+            ctx.take_actions()
         };
         assert!(carried.is_empty());
         assert_eq!(proto_bus.buffered_packets(), 1);
@@ -596,7 +575,8 @@ mod tests {
         );
         let delivered = {
             let mut ctx = bus.ctx(101.0);
-            proto_bus.on_tick(&mut ctx)
+            proto_bus.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(matches!(&delivered[0], Action::Transmit(p) if p.next_hop == Some(NodeId(9))));
     }
@@ -610,7 +590,8 @@ mod tests {
         });
         for i in 0..3 {
             let mut ctx = car.ctx(1.0 + f64::from(i));
-            let actions = proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            let actions = ctx.take_actions();
             if i < 2 {
                 assert!(actions.is_empty());
             } else {

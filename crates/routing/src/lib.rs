@@ -53,7 +53,7 @@ pub use mobility_protocols::{
 };
 pub use ondemand::{DiscoveryPolicy, OnDemandConfig, OnDemandRouting};
 pub use protocol::{
-    Action, Category, DropReason, LocationService, NoLocationService, ProtocolContext,
+    Action, ActionSink, Category, DropReason, LocationService, NoLocationService, ProtocolContext,
     RoutingProtocol, TableLocationService,
 };
 pub use yan::{TicketMetric, Yan, YanConfig};

@@ -289,6 +289,7 @@ mod tests {
         neighbors: &'a NeighborTable,
         rng: &'a mut SimRng,
         ids: &'a mut PacketIdAllocator,
+        sink: &'a mut crate::protocol::ActionSink,
     ) -> ProtocolContext<'a> {
         ProtocolContext {
             node: state.id,
@@ -301,6 +302,7 @@ mod tests {
             location: &NoLocationService,
             rng,
             packet_ids: ids,
+            actions: sink,
         }
     }
 
@@ -311,7 +313,8 @@ mod tests {
         let neighbors = NeighborTable::new();
         let mut rng = SimRng::new(1);
         let mut ids = PacketIdAllocator::new();
-        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids);
+        let mut sink = crate::protocol::ActionSink::new();
+        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids, &mut sink);
         // Same-direction neighbour just behind: long lifetime.
         let same = rreq_with_mobility(2, Vec2::new(50.0, 0.0), Vec2::new(29.0, 0.0));
         // Opposite-direction neighbour: short lifetime.
@@ -335,7 +338,8 @@ mod tests {
         let neighbors = NeighborTable::new();
         let mut rng = SimRng::new(1);
         let mut ids = PacketIdAllocator::new();
-        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids);
+        let mut sink = crate::protocol::ActionSink::new();
+        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids, &mut sink);
         let mut bare = rreq_with_mobility(2, Vec2::ZERO, Vec2::ZERO);
         bare.sender_position = None;
         bare.sender_velocity = None;
@@ -349,7 +353,8 @@ mod tests {
         let neighbors = NeighborTable::new();
         let mut rng = SimRng::new(1);
         let mut ids = PacketIdAllocator::new();
-        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids);
+        let mut sink = crate::protocol::ActionSink::new();
+        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids, &mut sink);
         let same_group = rreq_with_mobility(2, Vec2::new(50.0, 0.0), Vec2::new(25.0, 0.0));
         let other_group = rreq_with_mobility(3, Vec2::new(50.0, 4.0), Vec2::new(-25.0, 0.0));
         assert!(policy.should_forward_request(&ctx, &same_group));
@@ -371,7 +376,8 @@ mod tests {
         let neighbors = NeighborTable::new();
         let mut rng = SimRng::new(1);
         let mut ids = PacketIdAllocator::new();
-        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids);
+        let mut sink = crate::protocol::ActionSink::new();
+        let ctx = ctx_for(&state, &neighbors, &mut rng, &mut ids, &mut sink);
 
         let mut same_dir = rreq_with_mobility(2, Vec2::new(200.0, 0.0), Vec2::new(28.0, 0.0));
         same_dir.geo = Some(GeoAddress {

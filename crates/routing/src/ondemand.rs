@@ -10,7 +10,7 @@
 //! route lifetime).
 
 use crate::common::{PendingBuffer, RouteEntry, RoutingTable, SeenCache};
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use vanet_net::{GeoAddress, Packet, PacketKind};
@@ -152,10 +152,10 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
         &self.policy
     }
 
-    fn start_discovery(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) -> Vec<Action> {
+    fn start_discovery(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) {
         if let Some(last) = self.last_discovery.get(&dest) {
             if ctx.now.saturating_since(*last) < self.config.discovery_retry_interval {
-                return Vec::new();
+                return;
             }
         }
         self.last_discovery.insert(dest, ctx.now);
@@ -180,43 +180,37 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
         // Remember our own request so we do not re-flood it.
         self.rreq_seen
             .check_and_insert(ctx.node, request_id, ctx.now);
-        vec![Action::Transmit(rreq)]
+        ctx.transmit(rreq);
     }
 
-    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
         let dest = match packet.destination {
             Some(d) => d,
             None => {
-                return vec![Action::Drop {
-                    packet,
-                    reason: DropReason::NoRoute,
-                }]
+                ctx.drop_packet(&packet, DropReason::NoRoute);
+                return;
             }
         };
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(&packet, DropReason::TtlExpired);
+            return;
         }
         if let Some(route) = self.table.route(dest, ctx.now) {
             let next = route.next_hop;
-            return vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
-            )];
+            let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(next)));
+            ctx.transmit(fwd);
+            return;
         }
         // No route: the source buffers and discovers; intermediate nodes
         // report the error back to the source.
         if packet.source == ctx.node {
             if let Some(evicted) = self.pending.push(dest, packet, ctx.now) {
-                let mut actions = self.start_discovery(ctx, dest);
-                actions.push(Action::Drop {
-                    packet: evicted,
-                    reason: DropReason::BufferOverflow,
-                });
-                return actions;
+                self.start_discovery(ctx, dest);
+                ctx.drop_packet(&evicted, DropReason::BufferOverflow);
+                return;
             }
-            return self.start_discovery(ctx, dest);
+            self.start_discovery(ctx, dest);
+            return;
         }
         let mut rerr = ctx.new_control_packet(PacketKind::RouteError {
             unreachable: vec![dest],
@@ -224,16 +218,11 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             broken_link_to: dest,
         });
         rerr.destination = Some(packet.source);
-        vec![
-            Action::Transmit(rerr),
-            Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            },
-        ]
+        ctx.transmit(rerr);
+        ctx.drop_packet(&packet, DropReason::NoRoute);
     }
 
-    fn handle_rreq(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_rreq(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let (target, request_id, hop_count, path, metric) = match &packet.kind {
             PacketKind::RouteRequest {
                 target,
@@ -247,9 +236,9 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
         let origin = packet.source;
         if origin == ctx.node {
             // Our own request echoed back.
-            return Vec::new();
+            return;
         }
-        let link_metric = self.policy.link_metric(ctx, &packet);
+        let link_metric = self.policy.link_metric(ctx, packet);
         let new_metric = self.policy.combine(metric, link_metric);
 
         // Install / refresh the reverse route towards the origin.
@@ -272,7 +261,7 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
                 Some(prev) => self.policy.better(new_metric, *prev),
             };
             if !should_reply {
-                return Vec::new();
+                return;
             }
             self.replied.insert(key, new_metric);
             self.my_seq = self.my_seq.next();
@@ -288,33 +277,26 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             // Unicast back along the recorded path.
             rrep.next_hop = Some(packet.prev_hop);
             rrep.source_route = Some(route.into_iter().rev().collect());
-            return vec![Action::Transmit(rrep)];
+            ctx.transmit(rrep);
+            return;
         }
 
         // Intermediate node: duplicate suppression, policy filter, TTL.
         if self.rreq_seen.check_and_insert(origin, request_id, ctx.now) {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::Duplicate,
-            }];
+            ctx.drop_packet(packet, DropReason::Duplicate);
+            return;
         }
         if path.contains(&ctx.node) {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::Duplicate,
-            }];
+            ctx.drop_packet(packet, DropReason::Duplicate);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
-        if !self.policy.should_forward_request(ctx, &packet) {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::OutOfZone,
-            }];
+        if !self.policy.should_forward_request(ctx, packet) {
+            ctx.drop_packet(packet, DropReason::OutOfZone);
+            return;
         }
         let mut new_path = path;
         new_path.push(ctx.node);
@@ -326,10 +308,11 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             path: new_path,
             metric: new_metric,
         };
-        vec![Action::Transmit(ctx.stamp(fwd))]
+        let stamped = ctx.stamp(fwd);
+        ctx.transmit(stamped);
     }
 
-    fn handle_rrep(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_rrep(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let (target, route, metric, target_seq) = match &packet.kind {
             PacketKind::RouteReply {
                 target,
@@ -343,10 +326,8 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
         let my_index = match route.iter().position(|&n| n == ctx.node) {
             Some(i) => i,
             None => {
-                return vec![Action::Drop {
-                    packet,
-                    reason: DropReason::NotForMe,
-                }]
+                ctx.drop_packet(packet, DropReason::NotForMe);
+                return;
             }
         };
         // Forward route towards the target: next node after me in the route.
@@ -365,22 +346,21 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
         let origin = route[0];
         if ctx.node == origin {
             // Route established: flush pending data.
-            let mut actions = Vec::new();
             for pending in self.pending.take(target, ctx.now) {
-                actions.extend(self.forward_data(ctx, pending));
+                self.forward_data(ctx, pending);
             }
-            return actions;
+            return;
         }
         // Keep unicasting the RREP towards the origin (previous node on the path).
         if my_index == 0 {
-            return Vec::new();
+            return;
         }
         let previous = route[my_index - 1];
         let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(previous)));
-        vec![Action::Transmit(fwd)]
+        ctx.transmit(fwd);
     }
 
-    fn handle_rerr(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_rerr(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let unreachable = match &packet.kind {
             PacketKind::RouteError { unreachable, .. } => unreachable.clone(),
             _ => unreachable!("handle_rerr called with a non-RERR packet"),
@@ -391,27 +371,24 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
         // If the error was addressed to us (we are the source), trigger a
         // fresh discovery for destinations we still care about.
         if packet.destination == Some(ctx.node) {
-            let mut actions = Vec::new();
             for dest in unreachable {
                 if self.active_destinations.contains_key(&dest) || self.pending.has_pending(dest) {
-                    actions.extend(self.start_discovery(ctx, dest));
+                    self.start_discovery(ctx, dest);
                 }
             }
-            return actions;
+            return;
         }
         // Otherwise propagate the error one more hop towards the source.
         if let (true, Some(dest)) = (packet.ttl_allows_forwarding(), packet.destination) {
             if let Some(route) = self.table.route(dest, ctx.now) {
                 let next = route.next_hop;
-                return vec![Action::Transmit(
-                    ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
-                )];
+                let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(next)));
+                ctx.transmit(fwd);
+                return;
             }
-            return vec![Action::Transmit(
-                ctx.stamp(packet.forwarded_by(ctx.node, None)),
-            )];
+            let fwd = ctx.stamp(packet.forwarded_by(ctx.node, None));
+            ctx.transmit(fwd);
         }
-        Vec::new()
     }
 }
 
@@ -428,54 +405,44 @@ impl<P: DiscoveryPolicy> RoutingProtocol for OnDemandRouting<P> {
         self.policy.beacon_interval()
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
         if let Some(dest) = packet.destination {
             self.active_destinations.insert(dest, ctx.now);
         }
-        self.forward_data(ctx, packet)
+        self.forward_data(ctx, packet);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool) {
         match &packet.kind {
             PacketKind::Data => {
                 if packet.destination == Some(ctx.node) {
-                    return vec![Action::Deliver(packet)];
+                    ctx.deliver(packet);
+                    return;
                 }
                 if overheard {
-                    return Vec::new();
+                    return;
                 }
-                self.forward_data(ctx, packet)
+                self.forward_data(ctx, packet.clone());
             }
             PacketKind::RouteRequest { .. } => self.handle_rreq(ctx, packet),
             PacketKind::RouteReply { .. } => {
                 if overheard {
-                    return Vec::new();
+                    return;
                 }
-                self.handle_rrep(ctx, packet)
+                self.handle_rrep(ctx, packet);
             }
             PacketKind::RouteError { .. } => self.handle_rerr(ctx, packet),
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        let mut actions: Vec<Action> = self
-            .pending
-            .expire(ctx.now)
-            .into_iter()
-            .map(|packet| Action::Drop {
-                packet,
-                reason: DropReason::Expired,
-            })
-            .collect();
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
+        for packet in self.pending.expire(ctx.now) {
+            ctx.drop_packet(&packet, DropReason::Expired);
+        }
         // Retry discovery for destinations that still have packets waiting.
         for dest in self.pending.destinations() {
-            actions.extend(self.start_discovery(ctx, dest));
+            self.start_discovery(ctx, dest);
         }
         // Preemptive rebuild of soon-to-expire active routes (PBR).
         if self.policy.preemptive_rebuild() {
@@ -492,17 +459,16 @@ impl<P: DiscoveryPolicy> RoutingProtocol for OnDemandRouting<P> {
                     None => false,
                 };
                 if expiring {
-                    actions.extend(self.start_discovery(ctx, dest));
+                    self.start_discovery(ctx, dest);
                 }
             }
         }
-        actions
     }
 
-    fn on_neighbor_lost(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) -> Vec<Action> {
+    fn on_neighbor_lost(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
         let affected = self.table.invalidate_next_hop(neighbor);
         if affected.is_empty() {
-            return Vec::new();
+            return;
         }
         let mut rerr = ctx.new_control_packet(PacketKind::RouteError {
             unreachable: affected,
@@ -510,7 +476,7 @@ impl<P: DiscoveryPolicy> RoutingProtocol for OnDemandRouting<P> {
             broken_link_to: neighbor,
         });
         rerr.destination = None;
-        vec![Action::Transmit(rerr)]
+        ctx.transmit(rerr);
     }
 }
 
@@ -518,7 +484,7 @@ impl<P: DiscoveryPolicy> RoutingProtocol for OnDemandRouting<P> {
 mod tests {
     use super::*;
     use crate::aodv::{Aodv, AodvPolicy};
-    use crate::protocol::NoLocationService;
+    use crate::protocol::{Action, ActionSink, NoLocationService};
     use vanet_mobility::{Vec2, VehicleKind, VehicleState};
     use vanet_net::NeighborTable;
     use vanet_sim::{PacketIdAllocator, SimRng};
@@ -531,6 +497,7 @@ mod tests {
         neighbors: NeighborTable,
         rng: SimRng,
         ids: PacketIdAllocator,
+        sink: ActionSink,
     }
 
     impl Env {
@@ -540,6 +507,7 @@ mod tests {
                 neighbors: NeighborTable::new(),
                 rng: SimRng::new(u64::from(id) + 1),
                 ids: PacketIdAllocator::new(),
+                sink: ActionSink::new(),
             }
         }
 
@@ -555,6 +523,7 @@ mod tests {
                 location: &NoLocationService,
                 rng: &mut self.rng,
                 packet_ids: &mut self.ids,
+                actions: &mut self.sink,
             }
         }
     }
@@ -599,7 +568,8 @@ mod tests {
                         packet.next_hop.is_none() || packet.next_hop == Some(envs[r].state.id);
                     let actions = {
                         let mut ctx = envs[r].ctx(now);
-                        protos[r].on_packet(&mut ctx, packet.clone(), !intended)
+                        protos[r].on_packet(&mut ctx, &packet, !intended);
+                        ctx.take_actions()
                     };
                     for a in actions {
                         match a {
@@ -627,7 +597,8 @@ mod tests {
         // Originate on node 0: no route yet, so it buffers and emits a RREQ.
         let actions = {
             let mut ctx = envs[0].ctx(SimTime::from_secs(1.0));
-            protos[0].originate(&mut ctx, data)
+            protos[0].originate(&mut ctx, data);
+            ctx.take_actions()
         };
         assert_eq!(actions.len(), 1);
         let rreq = match &actions[0] {
@@ -674,13 +645,15 @@ mod tests {
         rreq_from_dest.prev_hop = NodeId(2);
         {
             let mut ctx = env.ctx(SimTime::from_secs(1.0));
-            proto.on_packet(&mut ctx, rreq_from_dest, false);
+            proto.on_packet(&mut ctx, &rreq_from_dest, false);
+            ctx.take_actions();
         }
         // The reverse route to 2 now exists, so data goes straight out unicast.
         let data = Packet::data(NodeId(0), NodeId(2), 100);
         let actions = {
             let mut ctx = env.ctx(SimTime::from_secs(1.5));
-            proto.originate(&mut ctx, data)
+            proto.originate(&mut ctx, data);
+            ctx.take_actions()
         };
         assert_eq!(actions.len(), 1);
         match &actions[0] {
@@ -712,7 +685,8 @@ mod tests {
         rreq.id = vanet_sim::PacketId(77);
         {
             let mut ctx = env.ctx(SimTime::from_secs(1.0));
-            proto.on_packet(&mut ctx, rreq, false);
+            proto.on_packet(&mut ctx, &rreq, false);
+            ctx.take_actions();
         }
         assert!(proto
             .routing_table()
@@ -720,7 +694,8 @@ mod tests {
             .is_some());
         let actions = {
             let mut ctx = env.ctx(SimTime::from_secs(2.0));
-            proto.on_neighbor_lost(&mut ctx, NodeId(3))
+            proto.on_neighbor_lost(&mut ctx, NodeId(3));
+            ctx.take_actions()
         };
         assert_eq!(actions.len(), 1);
         match &actions[0] {
@@ -746,11 +721,13 @@ mod tests {
         let d2 = Packet::data(NodeId(0), NodeId(7), 10);
         let a1 = {
             let mut ctx = env.ctx(SimTime::from_secs(1.0));
-            proto.originate(&mut ctx, d1)
+            proto.originate(&mut ctx, d1);
+            ctx.take_actions()
         };
         let a2 = {
             let mut ctx = env.ctx(SimTime::from_secs(1.5));
-            proto.originate(&mut ctx, d2)
+            proto.originate(&mut ctx, d2);
+            ctx.take_actions()
         };
         assert_eq!(a1.len(), 1, "first send triggers a discovery");
         assert!(
@@ -767,10 +744,12 @@ mod tests {
         {
             let mut ctx = env.ctx(SimTime::from_secs(1.0));
             proto.originate(&mut ctx, data);
+            ctx.take_actions();
         }
         let actions = {
             let mut ctx = env.ctx(SimTime::from_secs(60.0));
-            proto.on_tick(&mut ctx)
+            proto.on_tick(&mut ctx);
+            ctx.take_actions()
         };
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -789,6 +768,7 @@ mod tests {
         {
             let mut ctx = env.ctx(SimTime::from_secs(1.0));
             proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(7), 10));
+            ctx.take_actions();
         }
         // A RERR addressed to us about destination 7 arrives later.
         let mut rerr = Packet::broadcast(
@@ -804,7 +784,8 @@ mod tests {
         rerr.prev_hop = NodeId(3);
         let actions = {
             let mut ctx = env.ctx(SimTime::from_secs(5.0));
-            proto.on_packet(&mut ctx, rerr, false)
+            proto.on_packet(&mut ctx, &rerr, false);
+            ctx.take_actions()
         };
         assert!(
             actions

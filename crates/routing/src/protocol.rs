@@ -2,15 +2,17 @@
 //!
 //! Every protocol in the five families implements [`RoutingProtocol`]: a
 //! purely event-driven state machine that reacts to received packets,
-//! periodic ticks and neighbour-loss notifications by returning a list of
-//! [`Action`]s for the simulation driver to carry out. Protocols never touch
-//! the medium or the clock directly, which keeps them deterministic and
-//! individually unit-testable.
+//! periodic ticks and neighbour-loss notifications by pushing [`Action`]s
+//! into the reusable [`ActionSink`] carried by its [`ProtocolContext`], for
+//! the simulation driver to carry out. Protocols never touch the medium or
+//! the clock directly, which keeps them deterministic and individually
+//! unit-testable — and because the sink is owned by the driver and recycled
+//! across callbacks, a protocol reaction allocates nothing in steady state.
 
 use std::fmt;
 use vanet_mobility::{Position, VehicleState, Velocity};
 use vanet_net::{NeighborTable, Packet};
-use vanet_sim::{NodeId, PacketIdAllocator, SimDuration, SimRng, SimTime};
+use vanet_sim::{NodeId, PacketId, PacketIdAllocator, SimDuration, SimRng, SimTime};
 
 /// The five routing families of the paper's taxonomy (Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -81,10 +83,12 @@ pub enum Action {
     /// Deliver a data packet to the local application (it reached its
     /// destination).
     Deliver(Packet),
-    /// Drop a packet, recording the reason in the metrics.
+    /// Drop a packet, recording the reason in the metrics. Carries only the
+    /// packet id — drops are the hottest action in flooding protocols and
+    /// the driver needs nothing but the reason.
     Drop {
-        /// The dropped packet.
-        packet: Packet,
+        /// Id of the dropped packet.
+        id: PacketId,
         /// Why it was dropped.
         reason: DropReason,
     },
@@ -97,6 +101,88 @@ pub enum Action {
         /// The packet to hand over.
         packet: Packet,
     },
+}
+
+/// The reusable buffer protocol callbacks push their [`Action`]s into.
+///
+/// The simulation driver owns one sink per simulation, hands it to every
+/// callback through [`ProtocolContext`], drains it (keeping capacity) and
+/// hands it to the next callback — so the per-event `Vec<Action>` allocation
+/// of the old `-> Vec<Action>` API disappears entirely. The driver drains the
+/// sink after *every* callback; actions never leak from one callback into
+/// the next.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a frame for transmission on the wireless medium.
+    pub fn transmit(&mut self, packet: Packet) {
+        self.actions.push(Action::Transmit(packet));
+    }
+
+    /// Queues delivery of `packet` to the local application.
+    pub fn deliver(&mut self, packet: &Packet) {
+        self.actions.push(Action::Deliver(packet.clone()));
+    }
+
+    /// Records that `packet` was dropped for `reason`.
+    pub fn drop_packet(&mut self, packet: &Packet, reason: DropReason) {
+        self.actions.push(Action::Drop {
+            id: packet.id,
+            reason,
+        });
+    }
+
+    /// Queues a backbone hand-over of `packet` to road-side unit `to`.
+    pub fn backbone_send(&mut self, to: NodeId, packet: Packet) {
+        self.actions.push(Action::BackboneSend { to, packet });
+    }
+
+    /// Number of queued actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether no actions are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Capacity of the underlying buffer (for reuse diagnostics/tests).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.actions.capacity()
+    }
+
+    /// The queued actions, in push order.
+    #[must_use]
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Removes and returns all queued actions (convenient in tests; drivers
+    /// on the hot path should prefer [`ActionSink::swap_into`]).
+    pub fn take_all(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Swaps the queued actions into `scratch` (which must be empty), leaving
+    /// the sink holding `scratch`'s capacity. Ping-ponging two buffers this
+    /// way drains the sink with zero allocation in steady state.
+    pub fn swap_into(&mut self, scratch: &mut Vec<Action>) {
+        debug_assert!(scratch.is_empty(), "drain target must be empty");
+        std::mem::swap(&mut self.actions, scratch);
+    }
 }
 
 /// An idealised location service (the "GPS + digital map" assumption the
@@ -166,9 +252,10 @@ pub struct ProtocolContext<'a> {
     pub neighbors: &'a NeighborTable,
     /// Nominal radio range in metres.
     pub range_m: f64,
-    /// Ids of the road-side units deployed in the scenario.
+    /// Ids of the road-side units deployed in the scenario, sorted ascending
+    /// (membership checks binary-search this slice).
     pub rsu_ids: &'a [NodeId],
-    /// Ids of the bus (message-ferry) nodes in the scenario.
+    /// Ids of the bus (message-ferry) nodes, sorted ascending.
     pub bus_ids: &'a [NodeId],
     /// The location service (ideal GPS / digital map).
     pub location: &'a dyn LocationService,
@@ -176,6 +263,8 @@ pub struct ProtocolContext<'a> {
     pub rng: &'a mut SimRng,
     /// Allocator for fresh packet ids (control packets created by protocols).
     pub packet_ids: &'a mut PacketIdAllocator,
+    /// The driver-owned sink this callback's actions go into.
+    pub actions: &'a mut ActionSink,
 }
 
 impl<'a> ProtocolContext<'a> {
@@ -191,16 +280,42 @@ impl<'a> ProtocolContext<'a> {
         self.state.velocity
     }
 
-    /// Whether this node is a road-side unit.
+    /// Whether this node is a road-side unit (`rsu_ids` is id-sorted by
+    /// construction, so membership is a binary search).
     #[must_use]
     pub fn is_rsu(&self) -> bool {
-        self.rsu_ids.contains(&self.node)
+        self.rsu_ids.binary_search(&self.node).is_ok()
     }
 
     /// Whether this node is a bus (message ferry).
     #[must_use]
     pub fn is_bus(&self) -> bool {
-        self.bus_ids.contains(&self.node)
+        self.bus_ids.binary_search(&self.node).is_ok()
+    }
+
+    /// Queues a frame for transmission (shorthand for `actions.transmit`).
+    pub fn transmit(&mut self, packet: Packet) {
+        self.actions.transmit(packet);
+    }
+
+    /// Queues delivery of `packet` to the local application.
+    pub fn deliver(&mut self, packet: &Packet) {
+        self.actions.deliver(packet);
+    }
+
+    /// Records that `packet` was dropped for `reason`.
+    pub fn drop_packet(&mut self, packet: &Packet, reason: DropReason) {
+        self.actions.drop_packet(packet, reason);
+    }
+
+    /// Queues a backbone hand-over of `packet` to road-side unit `to`.
+    pub fn backbone_send(&mut self, to: NodeId, packet: Packet) {
+        self.actions.backbone_send(to, packet);
+    }
+
+    /// Removes and returns the actions queued so far (test convenience).
+    pub fn take_actions(&mut self) -> Vec<Action> {
+        self.actions.take_all()
     }
 
     /// Creates a fresh control packet stamped with this node as source and
@@ -227,6 +342,12 @@ impl<'a> ProtocolContext<'a> {
 }
 
 /// A VANET routing protocol instance (one per node).
+///
+/// Callbacks react by pushing [`Action`]s into `ctx.actions` (directly or
+/// via the [`ProtocolContext`] shorthands); the driver drains the sink after
+/// each callback. Received frames arrive by reference — the driver shares
+/// one frame among all receivers of a broadcast, and a protocol clones only
+/// what it actually stores or forwards.
 pub trait RoutingProtocol: fmt::Debug {
     /// Human-readable protocol name (e.g. `"AODV"`).
     fn name(&self) -> &'static str;
@@ -243,28 +364,17 @@ pub trait RoutingProtocol: fmt::Debug {
     /// The local application wants to send `packet` (a data packet with
     /// `destination` set). The protocol may transmit it immediately, buffer
     /// it while a route is discovered, or drop it.
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action>;
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet);
 
     /// A frame addressed to (or overheard by, when `overheard`) this node
     /// arrived.
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action>;
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool);
 
     /// Periodic maintenance tick (roughly once per second).
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action>;
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>);
 
     /// A neighbour's beacon lease expired (link break detected).
-    fn on_neighbor_lost(
-        &mut self,
-        _ctx: &mut ProtocolContext<'_>,
-        _neighbor: NodeId,
-    ) -> Vec<Action> {
-        Vec::new()
-    }
+    fn on_neighbor_lost(&mut self, _ctx: &mut ProtocolContext<'_>, _neighbor: NodeId) {}
 }
 
 #[cfg(test)]
@@ -279,6 +389,100 @@ mod tests {
         let mut sorted = Category::ALL;
         sorted.sort();
         assert_eq!(sorted, Category::ALL);
+    }
+
+    #[test]
+    fn action_sink_drains_completely_and_reuses_capacity() {
+        let mut sink = ActionSink::new();
+        let mut scratch: Vec<Action> = Vec::new();
+        let mut peak_capacity = 0;
+        for round in 0..4 {
+            // A "callback" pushes a mixed batch of actions.
+            let packet = Packet::data(NodeId(1), NodeId(9), 64);
+            sink.transmit(packet.clone());
+            sink.drop_packet(&packet, DropReason::Duplicate);
+            if round % 2 == 0 {
+                sink.deliver(&packet);
+            }
+            let expected = if round % 2 == 0 { 3 } else { 2 };
+            assert_eq!(sink.len(), expected);
+
+            // The driver drains it: everything comes out, nothing survives
+            // into the next callback (no cross-callback leakage).
+            sink.swap_into(&mut scratch);
+            assert!(sink.is_empty(), "drain must empty the sink");
+            assert_eq!(scratch.len(), expected);
+            assert!(matches!(scratch[0], Action::Transmit(_)));
+            assert!(matches!(
+                scratch[1],
+                Action::Drop {
+                    reason: DropReason::Duplicate,
+                    ..
+                }
+            ));
+            scratch.clear();
+
+            // After the first round the two buffers ping-pong: capacity is
+            // retained, so steady-state rounds allocate nothing.
+            if round >= 2 {
+                assert!(
+                    sink.capacity() >= 2 && scratch.capacity() >= 2,
+                    "buffer capacity must be recycled across rounds"
+                );
+            }
+            peak_capacity = peak_capacity.max(sink.capacity().max(scratch.capacity()));
+        }
+        assert!(
+            peak_capacity <= 8,
+            "ping-ponged buffers must not grow unboundedly, got {peak_capacity}"
+        );
+    }
+
+    #[test]
+    fn take_actions_returns_only_the_current_callbacks_actions() {
+        let state = VehicleState::stationary(
+            NodeId(3),
+            vanet_mobility::VehicleKind::Car,
+            Position::new(0.0, 0.0),
+        );
+        let neighbors = NeighborTable::new();
+        let mut rng = SimRng::new(1);
+        let mut ids = PacketIdAllocator::new();
+        let mut sink = ActionSink::new();
+        let mut ctx = ProtocolContext {
+            node: NodeId(3),
+            now: SimTime::ZERO,
+            state: &state,
+            neighbors: &neighbors,
+            range_m: 250.0,
+            rsu_ids: &[],
+            bus_ids: &[],
+            location: &NoLocationService,
+            rng: &mut rng,
+            packet_ids: &mut ids,
+            actions: &mut sink,
+        };
+        let mut proto = crate::flooding::Flooding::new();
+        let pkt = {
+            let mut p = Packet::data(NodeId(0), NodeId(9), 32);
+            p.id = vanet_sim::PacketId(77);
+            p
+        };
+        proto.on_packet(&mut ctx, &pkt, false);
+        let first = ctx.take_actions();
+        assert_eq!(first.len(), 1, "fresh packet → exactly one rebroadcast");
+        // The same packet again is a duplicate; the drain above must not
+        // leave the earlier Transmit behind to be double-counted.
+        proto.on_packet(&mut ctx, &pkt, false);
+        let second = ctx.take_actions();
+        assert_eq!(second.len(), 1);
+        assert!(matches!(
+            second[0],
+            Action::Drop {
+                reason: DropReason::Duplicate,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! path whose bottleneck stability is highest and source-routes data along it.
 
 use crate::common::{PendingBuffer, SeenCache};
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use std::collections::BTreeMap;
 use vanet_links::probability::{expected_link_duration, mean_link_duration};
 use vanet_mobility::geometry::distance;
@@ -161,10 +161,10 @@ impl Yan {
         scored
     }
 
-    fn start_probe(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) -> Vec<Action> {
+    fn start_probe(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) {
         if let Some(last) = self.last_probe.get(&dest) {
             if ctx.now.saturating_since(*last) < self.config.probe_retry_interval {
-                return Vec::new();
+                return;
             }
         }
         self.last_probe.insert(dest, ctx.now);
@@ -175,9 +175,8 @@ impl Yan {
         let path = vec![ctx.node];
         let candidates = self.candidates(ctx, dest, &path);
         if candidates.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         let share = (self.config.tickets / candidates.len() as u32).max(1);
         for (next, stability) in candidates {
             let mut ticket = ctx.new_control_packet(PacketKind::Ticket {
@@ -189,55 +188,50 @@ impl Yan {
             });
             ticket.destination = Some(dest);
             ticket.next_hop = Some(next);
-            actions.push(Action::Transmit(ticket));
+            ctx.transmit(ticket);
         }
-        actions
     }
 
-    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) -> Vec<Action> {
+    fn forward_data(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) {
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(&packet, DropReason::NoRoute);
+            return;
         };
         if dest == ctx.node {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(&packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(&packet, DropReason::TtlExpired);
+            return;
         }
         // Source routing: follow the embedded route if present.
         if let Some(route) = packet.source_route.clone() {
             if let Some(idx) = route.iter().position(|&n| n == ctx.node) {
                 if idx + 1 < route.len() {
                     let next = route[idx + 1];
-                    return vec![Action::Transmit(
-                        ctx.stamp(packet.forwarded_by(ctx.node, Some(next))),
-                    )];
+                    let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(next)));
+                    ctx.transmit(fwd);
+                    return;
                 }
             }
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(&packet, DropReason::NoRoute);
+            return;
         }
         // At the source: attach a cached route or probe for one.
         if let Some(cached) = self.routes.get(&dest) {
             if cached.expires_at >= ctx.now {
                 packet.source_route = Some(cached.route.clone());
-                return self.forward_data(ctx, packet);
+                self.forward_data(ctx, packet);
+                return;
             }
             self.routes.remove(&dest);
         }
         self.pending.push(dest, packet, ctx.now);
-        self.start_probe(ctx, dest)
+        self.start_probe(ctx, dest);
     }
 
-    fn handle_ticket(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_ticket(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let (target, probe_id, tickets, path, metric) = match &packet.kind {
             PacketKind::Ticket {
                 target,
@@ -264,31 +258,25 @@ impl Yan {
             reply.destination = Some(origin);
             reply.next_hop = Some(packet.prev_hop);
             reply.source_route = Some(new_path.into_iter().rev().collect());
-            return vec![Action::Transmit(reply)];
+            ctx.transmit(reply);
+            return;
         }
         if self.probes_seen.check_and_insert(origin, probe_id, ctx.now) {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::Duplicate,
-            }];
+            ctx.drop_packet(packet, DropReason::Duplicate);
+            return;
         }
         if !packet.ttl_allows_forwarding() || tickets == 0 {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
         // Split the remaining tickets among the best candidate next hops.
         let candidates = self.candidates(ctx, target, &new_path);
         if candidates.is_empty() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(packet, DropReason::NoRoute);
+            return;
         }
         let branches = candidates.len().min(tickets as usize).max(1);
         let share = (tickets / branches as u32).max(1);
-        let mut actions = Vec::new();
         for (next, stability) in candidates.into_iter().take(branches) {
             let mut fwd = packet.forwarded_by(ctx.node, Some(next));
             fwd.kind = PacketKind::Ticket {
@@ -298,12 +286,12 @@ impl Yan {
                 path: new_path.clone(),
                 metric: metric.min(stability),
             };
-            actions.push(Action::Transmit(ctx.stamp(fwd)));
+            let stamped = ctx.stamp(fwd);
+            ctx.transmit(stamped);
         }
-        actions
     }
 
-    fn handle_reply(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
+    fn handle_reply(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet) {
         let (target, route, metric) = match &packet.kind {
             PacketKind::RouteReply {
                 target,
@@ -314,10 +302,8 @@ impl Yan {
             _ => unreachable!("handle_reply called with a non-reply packet"),
         };
         let Some(my_index) = route.iter().position(|&n| n == ctx.node) else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NotForMe,
-            }];
+            ctx.drop_packet(packet, DropReason::NotForMe);
+            return;
         };
         if my_index == 0 {
             // We are the probing source: cache the best route.
@@ -335,17 +321,15 @@ impl Yan {
                     },
                 );
             }
-            let mut actions = Vec::new();
             for pending in self.pending.take(target, ctx.now) {
-                actions.extend(self.forward_data(ctx, pending));
+                self.forward_data(ctx, pending);
             }
-            return actions;
+            return;
         }
         // Relay the reply towards the source along the recorded path.
         let previous = route[my_index - 1];
-        vec![Action::Transmit(
-            ctx.stamp(packet.forwarded_by(ctx.node, Some(previous))),
-        )]
+        let fwd = ctx.stamp(packet.forwarded_by(ctx.node, Some(previous)));
+        ctx.transmit(fwd);
     }
 }
 
@@ -371,59 +355,42 @@ impl RoutingProtocol for Yan {
         Some(self.config.beacon_interval)
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) -> Vec<Action> {
-        self.forward_data(ctx, packet)
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, packet: Packet) {
+        self.forward_data(ctx, packet);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, overheard: bool) {
         if overheard {
-            return Vec::new();
+            return;
         }
         match &packet.kind {
-            PacketKind::Data => self.forward_data(ctx, packet),
+            PacketKind::Data => self.forward_data(ctx, packet.clone()),
             PacketKind::Ticket { .. } => self.handle_ticket(ctx, packet),
             PacketKind::RouteReply { .. } => self.handle_reply(ctx, packet),
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
-    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        let mut actions: Vec<Action> = self
-            .pending
-            .expire(ctx.now)
-            .into_iter()
-            .map(|packet| Action::Drop {
-                packet,
-                reason: DropReason::Expired,
-            })
-            .collect();
+    fn on_tick(&mut self, ctx: &mut ProtocolContext<'_>) {
+        for packet in self.pending.expire(ctx.now) {
+            ctx.drop_packet(&packet, DropReason::Expired);
+        }
         for dest in self.pending.destinations() {
-            actions.extend(self.start_probe(ctx, dest));
+            self.start_probe(ctx, dest);
         }
-        actions
     }
 
-    fn on_neighbor_lost(
-        &mut self,
-        _ctx: &mut ProtocolContext<'_>,
-        neighbor: NodeId,
-    ) -> Vec<Action> {
+    fn on_neighbor_lost(&mut self, _ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
         // Invalidate cached routes that use the lost neighbour.
         self.routes
             .retain(|_, cached| !cached.route.contains(&neighbor));
-        Vec::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::TableLocationService;
+    use crate::protocol::{Action, ActionSink, TableLocationService};
     use vanet_mobility::{Vec2, VehicleKind, VehicleState};
     use vanet_net::NeighborTable;
     use vanet_sim::{PacketIdAllocator, SimRng};
@@ -434,6 +401,7 @@ mod tests {
         location: TableLocationService,
         rng: SimRng,
         ids: PacketIdAllocator,
+        sink: ActionSink,
     }
 
     impl Harness {
@@ -447,6 +415,7 @@ mod tests {
                 location: TableLocationService::new(),
                 rng: SimRng::new(1),
                 ids: PacketIdAllocator::new(),
+                sink: ActionSink::new(),
             }
         }
 
@@ -472,6 +441,7 @@ mod tests {
                 location: &self.location,
                 rng: &mut self.rng,
                 packet_ids: &mut self.ids,
+                actions: &mut self.sink,
             }
         }
     }
@@ -487,7 +457,8 @@ mod tests {
         let mut yan = Yan::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+            yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            ctx.take_actions()
         };
         // Two candidates → two tickets (max_branches = 2), both unicast.
         assert_eq!(actions.len(), 2);
@@ -540,7 +511,8 @@ mod tests {
         ticket.next_hop = Some(NodeId(9));
         let reply_actions = {
             let mut ctx = dest.ctx(2.0);
-            yan_dest.on_packet(&mut ctx, ticket, false)
+            yan_dest.on_packet(&mut ctx, &ticket, false);
+            ctx.take_actions()
         };
         let reply = match &reply_actions[0] {
             Action::Transmit(p) => {
@@ -561,10 +533,12 @@ mod tests {
         {
             let mut ctx = src.ctx(1.0);
             yan_src.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            ctx.take_actions();
         }
         let flushed = {
             let mut ctx = src.ctx(3.0);
-            yan_src.on_packet(&mut ctx, reply, false)
+            yan_src.on_packet(&mut ctx, &reply, false);
+            ctx.take_actions()
         };
         assert_eq!(yan_src.cached_routes(), 1);
         assert!(flushed.iter().any(|a| matches!(
@@ -583,7 +557,8 @@ mod tests {
         data.next_hop = Some(NodeId(1));
         let actions = {
             let mut ctx = relay.ctx(2.0);
-            yan.on_packet(&mut ctx, data, false)
+            yan.on_packet(&mut ctx, &data, false);
+            ctx.take_actions()
         };
         assert!(matches!(&actions[0], Action::Transmit(p) if p.next_hop == Some(NodeId(2))));
     }
@@ -624,7 +599,8 @@ mod tests {
         let mut yan = Yan::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+            yan.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            ctx.take_actions()
         };
         assert!(
             actions.is_empty(),

@@ -9,7 +9,7 @@
 
 use crate::common::SeenCache;
 use crate::ondemand::{DiscoveryPolicy, OnDemandRouting};
-use crate::protocol::{Action, Category, DropReason, ProtocolContext, RoutingProtocol};
+use crate::protocol::{Category, DropReason, ProtocolContext, RoutingProtocol};
 use vanet_mobility::geometry::distance;
 use vanet_mobility::Position;
 use vanet_net::{GeoAddress, Packet, PacketKind};
@@ -79,18 +79,14 @@ impl RoutingProtocol for Zone {
         Some(self.beacon_interval)
     }
 
-    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) -> Vec<Action> {
+    fn originate(&mut self, ctx: &mut ProtocolContext<'_>, mut packet: Packet) {
         let Some(dest) = packet.destination else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(&packet, DropReason::NoRoute);
+            return;
         };
         let Some(dest_pos) = ctx.location.position_of(dest) else {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::NoRoute,
-            }];
+            ctx.drop_packet(&packet, DropReason::NoRoute);
+            return;
         };
         packet.geo = Some(GeoAddress {
             position: dest_pos,
@@ -100,35 +96,27 @@ impl RoutingProtocol for Zone {
             .check_and_insert(packet.source, packet.id.value(), ctx.now);
         let mut copy = ctx.stamp(packet);
         copy.next_hop = None;
-        vec![Action::Transmit(copy)]
+        ctx.transmit(copy);
     }
 
-    fn on_packet(
-        &mut self,
-        ctx: &mut ProtocolContext<'_>,
-        packet: Packet,
-        _overheard: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, ctx: &mut ProtocolContext<'_>, packet: &Packet, _overheard: bool) {
         if packet.kind != PacketKind::Data {
-            return Vec::new();
+            return;
         }
         if self
             .seen
             .check_and_insert(packet.source, packet.id.value(), ctx.now)
         {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::Duplicate,
-            }];
+            ctx.drop_packet(packet, DropReason::Duplicate);
+            return;
         }
         if packet.destination == Some(ctx.node) {
-            return vec![Action::Deliver(packet)];
+            ctx.deliver(packet);
+            return;
         }
         if !packet.ttl_allows_forwarding() {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::TtlExpired,
-            }];
+            ctx.drop_packet(packet, DropReason::TtlExpired);
+            return;
         }
         // Only nodes inside the corridor towards the destination zone relay.
         let inside = match (packet.geo, packet.sender_position) {
@@ -143,19 +131,14 @@ impl RoutingProtocol for Zone {
             _ => true,
         };
         if !inside {
-            return vec![Action::Drop {
-                packet,
-                reason: DropReason::OutOfZone,
-            }];
+            ctx.drop_packet(packet, DropReason::OutOfZone);
+            return;
         }
-        vec![Action::Transmit(
-            ctx.stamp(packet.forwarded_by(ctx.node, None)),
-        )]
+        let fwd = ctx.stamp(packet.forwarded_by(ctx.node, None));
+        ctx.transmit(fwd);
     }
 
-    fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) -> Vec<Action> {
-        Vec::new()
-    }
+    fn on_tick(&mut self, _ctx: &mut ProtocolContext<'_>) {}
 }
 
 /// The ROVER discovery policy: hop-count metric (like AODV) but route
@@ -236,7 +219,7 @@ pub fn rover() -> Rover {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::TableLocationService;
+    use crate::protocol::{Action, ActionSink, TableLocationService};
     use vanet_mobility::{Vec2, VehicleKind, VehicleState};
     use vanet_net::NeighborTable;
     use vanet_sim::{NodeId, PacketIdAllocator, SimRng, SimTime};
@@ -247,6 +230,7 @@ mod tests {
         location: TableLocationService,
         rng: SimRng,
         ids: PacketIdAllocator,
+        sink: ActionSink,
     }
 
     impl Harness {
@@ -257,6 +241,7 @@ mod tests {
                 location: TableLocationService::new(),
                 rng: SimRng::new(1),
                 ids: PacketIdAllocator::new(),
+                sink: ActionSink::new(),
             }
         }
 
@@ -272,6 +257,7 @@ mod tests {
                 location: &self.location,
                 rng: &mut self.rng,
                 packet_ids: &mut self.ids,
+                actions: &mut self.sink,
             }
         }
     }
@@ -318,7 +304,8 @@ mod tests {
         let mut proto = Zone::new();
         let actions = {
             let mut ctx = h.ctx(1.0);
-            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64))
+            proto.originate(&mut ctx, Packet::data(NodeId(0), NodeId(9), 64));
+            ctx.take_actions()
         };
         match &actions[0] {
             Action::Transmit(p) => {
@@ -344,7 +331,8 @@ mod tests {
         let mut proto_a = Zone::new();
         let relayed = {
             let mut ctx = on_path.ctx(1.0);
-            proto_a.on_packet(&mut ctx, packet.clone(), false)
+            proto_a.on_packet(&mut ctx, &packet, false);
+            ctx.take_actions()
         };
         assert!(matches!(relayed[0], Action::Transmit(_)));
 
@@ -353,7 +341,8 @@ mod tests {
         let mut proto_b = Zone::new();
         let dropped = {
             let mut ctx = off_path.ctx(1.0);
-            proto_b.on_packet(&mut ctx, packet, false)
+            proto_b.on_packet(&mut ctx, &packet, false);
+            ctx.take_actions()
         };
         assert!(matches!(
             dropped[0],
@@ -376,12 +365,14 @@ mod tests {
         packet.sender_position = Some(Vec2::new(1_800.0, 0.0));
         let first = {
             let mut ctx = h.ctx(1.0);
-            proto.on_packet(&mut ctx, packet.clone(), false)
+            proto.on_packet(&mut ctx, &packet, false);
+            ctx.take_actions()
         };
         assert!(matches!(first[0], Action::Deliver(_)));
         let dup = {
             let mut ctx = h.ctx(1.1);
-            proto.on_packet(&mut ctx, packet, false)
+            proto.on_packet(&mut ctx, &packet, false);
+            ctx.take_actions()
         };
         assert!(matches!(
             dup[0],

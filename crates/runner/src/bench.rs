@@ -1,0 +1,260 @@
+//! Hot-path throughput benchmark (`vanet-campaign --bench`).
+//!
+//! Runs one megacity-scale simulation, measures scheduler throughput
+//! (events/sec) and peak RSS, and merges the result into a small flat JSON
+//! file (`BENCH_hotpath.json` by default). The file holds two labelled
+//! measurements — `baseline` (committed before a perf change) and `current`
+//! (the state under test) — plus their speedup, giving every PR a recorded
+//! perf trajectory.
+
+use std::time::Instant;
+use vanet_core::{ProtocolKind, Report, Scenario, Simulation};
+use vanet_sim::SimDuration;
+
+/// One labelled throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Scheduler events processed.
+    pub events: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Peak resident set size of the process, bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+}
+
+/// The outcome of one `--bench` invocation.
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    /// Scenario name (e.g. `megacity-10000`).
+    pub scenario: String,
+    /// Protocol the fleet ran.
+    pub protocol: ProtocolKind,
+    /// Simulated duration of the run, seconds.
+    pub duration_s: f64,
+    /// The measurement.
+    pub run: BenchRun,
+    /// The simulation report (for eyeballing that the run did real work).
+    pub report: Report,
+}
+
+/// Peak resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns 0 on platforms without procfs.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Runs the hot-path benchmark: `vehicles` on the megacity grid for
+/// `duration_s` simulated seconds under `protocol`, single-threaded (the
+/// point is per-core event throughput, not pool scaling).
+#[must_use]
+pub fn run_hotpath_bench(vehicles: usize, duration_s: f64, protocol: ProtocolKind) -> BenchOutcome {
+    let scenario = Scenario::megacity(vehicles).with_duration(SimDuration::from_secs(duration_s));
+    let scenario_name = scenario.name.clone();
+    let mut sim = Simulation::new(scenario, protocol);
+    let started = Instant::now();
+    let report = sim.run();
+    let wall_s = started.elapsed().as_secs_f64();
+    let events = sim.processed_events();
+    BenchOutcome {
+        scenario: scenario_name,
+        protocol,
+        duration_s,
+        run: BenchRun {
+            events,
+            wall_s,
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+            peak_rss_bytes: peak_rss_bytes(),
+        },
+        report,
+    }
+}
+
+/// Extracts the numeric value of `"key":<number>` from flat JSON. Tolerant of
+/// whitespace; returns `None` when the key is absent.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the value of `"key": "string"` from flat JSON.
+fn json_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+fn parse_run(text: &str, label: &str) -> Option<BenchRun> {
+    Some(BenchRun {
+        events: json_number(text, &format!("{label}_events"))? as u64,
+        wall_s: json_number(text, &format!("{label}_wall_s"))?,
+        events_per_sec: json_number(text, &format!("{label}_events_per_sec"))?,
+        peak_rss_bytes: json_number(text, &format!("{label}_peak_rss_bytes"))? as u64,
+    })
+}
+
+fn render_run(out: &mut String, label: &str, run: &BenchRun) {
+    out.push_str(&format!(
+        "  \"{label}_events\": {},\n  \"{label}_wall_s\": {:.3},\n  \
+         \"{label}_events_per_sec\": {:.0},\n  \"{label}_peak_rss_bytes\": {},\n",
+        run.events, run.wall_s, run.events_per_sec, run.peak_rss_bytes
+    ));
+}
+
+/// Renders the bench file contents: `outcome` stored under `label`
+/// (`"baseline"` or `"current"`), preserving the *other* label from
+/// `existing` (the previous file contents, if any). When both measurements
+/// are present a `speedup` field (current / baseline events/sec) is added.
+///
+/// Two measurements are only comparable when they ran the same workload:
+/// the other label is preserved **only if** the existing file's scenario,
+/// protocol and simulated duration match this outcome's. On mismatch the
+/// file is rewritten with the new measurement alone, so a speedup never
+/// silently compares different workloads. (Hardware comparability remains
+/// the operator's responsibility — measure baseline and current on the same
+/// machine.)
+#[must_use]
+pub fn render_bench_json(existing: Option<&str>, label: &str, outcome: &BenchOutcome) -> String {
+    let other_label = if label == "baseline" {
+        "current"
+    } else {
+        "baseline"
+    };
+    let other = match existing {
+        Some(text)
+            if json_string(text, "scenario").as_deref() == Some(outcome.scenario.as_str())
+                && json_string(text, "protocol").as_deref() == Some(outcome.protocol.name())
+                && json_number(text, "duration_s") == Some(outcome.duration_s) =>
+        {
+            parse_run(text, other_label)
+        }
+        _ => None,
+    };
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", outcome.scenario));
+    out.push_str(&format!("  \"protocol\": \"{}\",\n", outcome.protocol));
+    out.push_str(&format!("  \"duration_s\": {},\n", outcome.duration_s));
+    let (baseline, current) = if label == "baseline" {
+        (Some(&outcome.run), other.as_ref())
+    } else {
+        (other.as_ref(), Some(&outcome.run))
+    };
+    if let Some(b) = baseline {
+        render_run(&mut out, "baseline", b);
+    }
+    if let Some(c) = current {
+        render_run(&mut out, "current", c);
+    }
+    if let (Some(b), Some(c)) = (baseline, current) {
+        if b.events_per_sec > 0.0 {
+            out.push_str(&format!(
+                "  \"speedup\": {:.2},\n",
+                c.events_per_sec / b.events_per_sec
+            ));
+        }
+    }
+    // Trim the trailing comma of the last field.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(eps: f64) -> BenchOutcome {
+        BenchOutcome {
+            scenario: "megacity-10".to_owned(),
+            protocol: ProtocolKind::Greedy,
+            duration_s: 20.0,
+            run: BenchRun {
+                events: 1_000,
+                wall_s: 1_000.0 / eps,
+                events_per_sec: eps,
+                peak_rss_bytes: 42 * 1024,
+            },
+            report: vanet_core::Metrics::new().report("Greedy", "megacity-10"),
+        }
+    }
+
+    #[test]
+    fn render_then_merge_round_trips_and_computes_speedup() {
+        let baseline = render_bench_json(None, "baseline", &outcome(1_000.0));
+        assert!(baseline.contains("\"baseline_events_per_sec\": 1000"));
+        assert!(!baseline.contains("speedup"));
+        let merged = render_bench_json(Some(&baseline), "current", &outcome(2_500.0));
+        assert!(merged.contains("\"baseline_events_per_sec\": 1000"));
+        assert!(merged.contains("\"current_events_per_sec\": 2500"));
+        assert!(merged.contains("\"speedup\": 2.50"));
+        let run = parse_run(&merged, "current").unwrap();
+        assert_eq!(run.events, 1_000);
+        assert_eq!(run.peak_rss_bytes, 42 * 1024);
+    }
+
+    #[test]
+    fn incomparable_workloads_are_not_merged() {
+        let baseline = render_bench_json(None, "baseline", &outcome(1_000.0));
+        // Same scenario/protocol but a different simulated duration: the
+        // baseline must be discarded instead of producing a bogus speedup.
+        let mut shorter = outcome(2_500.0);
+        shorter.duration_s = 5.0;
+        let merged = render_bench_json(Some(&baseline), "current", &shorter);
+        assert!(!merged.contains("baseline_events_per_sec"));
+        assert!(!merged.contains("speedup"));
+        // Different scenario: likewise discarded.
+        let mut other = outcome(2_500.0);
+        other.scenario = "megacity-99".to_owned();
+        let merged = render_bench_json(Some(&baseline), "current", &other);
+        assert!(!merged.contains("speedup"));
+        // Identical workload still merges.
+        let merged = render_bench_json(Some(&baseline), "current", &outcome(2_500.0));
+        assert!(merged.contains("\"speedup\": 2.50"));
+    }
+
+    #[test]
+    fn bench_runs_a_tiny_megacity() {
+        let outcome = run_hotpath_bench(20, 2.0, ProtocolKind::Greedy);
+        assert!(outcome.run.events > 0);
+        assert!(outcome.run.events_per_sec > 0.0);
+        assert_eq!(outcome.scenario, "megacity-20");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

@@ -23,8 +23,8 @@
 use std::process::ExitCode;
 use vanet_core::ProtocolKind;
 use vanet_runner::{
-    campaign_by_name, parse_scenario, protocol_by_name, render_csv, render_jsonl, render_table,
-    CampaignSpec, Runner, CATALOG,
+    campaign_by_name, parse_scenario, protocol_by_name, render_bench_json, render_csv,
+    render_jsonl, render_table, run_hotpath_bench, CampaignSpec, Runner, CATALOG,
 };
 
 #[derive(Debug, PartialEq)]
@@ -45,13 +45,20 @@ struct Args {
     full: bool,
     quiet: bool,
     list: bool,
+    shard: Option<(usize, usize)>,
+    bench: bool,
+    bench_vehicles: usize,
+    bench_duration_s: f64,
+    bench_label: String,
 }
 
 fn usage() -> String {
     let mut text = String::from(
         "usage: vanet-campaign [NAME] [--scenarios S1,S2] [--protocols P1,P2] \
          [--seeds N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
-         [--full] [--quiet] [--list]\n\ncatalog campaigns:\n",
+         [--shard I/N] [--full] [--quiet] [--list]\n       \
+         vanet-campaign --bench [--bench-vehicles N] [--bench-duration S] \
+         [--bench-label baseline|current] [--out FILE]\n\ncatalog campaigns:\n",
     );
     for (name, blurb) in CATALOG {
         text.push_str(&format!("  {name:<10} {blurb}\n"));
@@ -74,6 +81,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         full: false,
         quiet: false,
         list: false,
+        shard: None,
+        bench: false,
+        bench_vehicles: 10_000,
+        bench_duration_s: 20.0,
+        bench_label: "current".to_owned(),
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -119,6 +131,40 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
             }
             "--out" => args.out = Some(value("--out")?.clone()),
+            "--shard" => {
+                let raw = value("--shard")?;
+                let (i, n) = raw
+                    .split_once('/')
+                    .ok_or_else(|| "--shard needs the form I/N (e.g. 0/4)".to_owned())?;
+                let shard = (
+                    i.parse()
+                        .map_err(|_| "--shard index must be an integer".to_owned())?,
+                    n.parse()
+                        .map_err(|_| "--shard count must be an integer".to_owned())?,
+                );
+                if shard.1 == 0 || shard.0 >= shard.1 {
+                    return Err(format!("--shard {raw} is out of range (need I < N)"));
+                }
+                args.shard = Some(shard);
+            }
+            "--bench" => args.bench = true,
+            "--bench-vehicles" => {
+                args.bench_vehicles = value("--bench-vehicles")?
+                    .parse()
+                    .map_err(|_| "--bench-vehicles needs an integer".to_owned())?;
+            }
+            "--bench-duration" => {
+                args.bench_duration_s = value("--bench-duration")?
+                    .parse()
+                    .map_err(|_| "--bench-duration needs a number of seconds".to_owned())?;
+            }
+            "--bench-label" => {
+                let label = value("--bench-label")?.clone();
+                if label != "baseline" && label != "current" {
+                    return Err("--bench-label must be baseline or current".to_owned());
+                }
+                args.bench_label = label;
+            }
             "--help" | "-h" => return Err(HELP_SENTINEL.to_owned()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             name if args.name.is_none() => args.name = Some(name.to_owned()),
@@ -159,6 +205,44 @@ fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
     }
 }
 
+/// `--bench`: one single-threaded megacity run; the measurement is merged
+/// into the bench JSON file under `--bench-label`, preserving the other
+/// label so baseline/current pairs accumulate a speedup.
+fn run_bench(args: &Args) -> ExitCode {
+    let protocol = match args.protocols.first() {
+        None => ProtocolKind::Greedy,
+        Some(name) => match protocol_by_name(name) {
+            Some(p) => p,
+            None => {
+                eprintln!("unknown protocol {name:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    eprintln!(
+        "[vanet-campaign] bench: megacity-{} x {}s under {} ({})",
+        args.bench_vehicles, args.bench_duration_s, protocol, args.bench_label
+    );
+    let outcome = run_hotpath_bench(args.bench_vehicles, args.bench_duration_s, protocol);
+    eprintln!(
+        "[vanet-campaign] {} events in {:.2}s = {:.0} events/sec, peak RSS {:.1} MiB, pdr {:.3}",
+        outcome.run.events,
+        outcome.run.wall_s,
+        outcome.run.events_per_sec,
+        outcome.run.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        outcome.report.delivery_ratio,
+    );
+    let path = args.out.as_deref().unwrap_or("BENCH_hotpath.json");
+    let existing = std::fs::read_to_string(path).ok();
+    let rendered = render_bench_json(existing.as_deref(), &args.bench_label, &outcome);
+    if let Err(error) = std::fs::write(path, &rendered) {
+        eprintln!("cannot write {path:?}: {error}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[vanet-campaign] wrote {path}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -176,6 +260,9 @@ fn main() -> ExitCode {
         print!("{}", usage());
         return ExitCode::SUCCESS;
     }
+    if args.bench {
+        return run_bench(&args);
+    }
     let spec = match build_spec(&args) {
         Ok(spec) => spec,
         Err(message) => {
@@ -187,6 +274,9 @@ fn main() -> ExitCode {
     let mut runner = Runner::new().with_progress(!args.quiet);
     if let Some(workers) = args.workers {
         runner = runner.with_workers(workers);
+    }
+    if let Some((index, count)) = args.shard {
+        runner = runner.with_shard(index, count);
     }
     let results = runner.run(&spec);
 

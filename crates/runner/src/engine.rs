@@ -64,6 +64,7 @@ impl CampaignResults {
 pub struct Runner {
     workers: usize,
     progress: bool,
+    shard: Option<(usize, usize)>,
 }
 
 impl Default for Runner {
@@ -79,7 +80,26 @@ impl Runner {
         Runner {
             workers: available_workers(),
             progress: false,
+            shard: None,
         }
+    }
+
+    /// Restricts the runner to shard `index` of `count`: only the cells with
+    /// `cell % count == index` are executed. Sharding partitions the expanded
+    /// job list deterministically, so `count` machines each running one shard
+    /// cover exactly the full campaign with disjoint cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= count` or `count == 0`.
+    #[must_use]
+    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        assert!(
+            count > 0 && index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        self.shard = Some((index, count));
+        self
     }
 
     /// Overrides the worker count (clamped to at least 1).
@@ -114,16 +134,28 @@ impl Runner {
             "campaign '{}' has an empty scenario or protocol set",
             spec.name
         );
-        let jobs = spec.jobs();
+        let jobs: Vec<_> = spec
+            .jobs()
+            .into_iter()
+            .filter(|job| match self.shard {
+                None => true,
+                Some((index, count)) => job.cell % count == index,
+            })
+            .collect();
         let total = jobs.len();
         if self.progress {
+            let shard_note = match self.shard {
+                None => String::new(),
+                Some((index, count)) => format!(" (shard {index}/{count})"),
+            };
             eprintln!(
-                "[vanet-runner] campaign '{}': {} cells x {} replications = {} jobs on {} workers",
+                "[vanet-runner] campaign '{}': {} cells x {} replications = {} jobs on {} workers{}",
                 spec.name,
                 spec.cell_count(),
                 spec.replications.max(1),
                 total,
-                self.workers
+                self.workers,
+                shard_note
             );
         }
         let started = Instant::now();
@@ -152,21 +184,26 @@ impl Runner {
         );
         let elapsed = started.elapsed();
 
-        let replications = spec.replications.max(1);
-        let cells = reports
-            .chunks(replications)
-            .enumerate()
-            .map(|(cell, cell_reports)| {
-                let (label, scenario, protocol) = spec.cell(cell);
-                CellSummary {
-                    label: label.to_owned(),
-                    scenario: scenario.name.clone(),
-                    protocol,
-                    summary: Summary::from_reports(cell_reports)
-                        .expect("every cell has >= 1 replication"),
-                }
-            })
-            .collect();
+        // Jobs are cell-major, so (even after shard filtering) each cell's
+        // replications are a contiguous run of the report list.
+        let mut cells = Vec::new();
+        let mut start = 0;
+        while start < jobs.len() {
+            let cell = jobs[start].cell;
+            let mut end = start + 1;
+            while end < jobs.len() && jobs[end].cell == cell {
+                end += 1;
+            }
+            let (label, scenario, protocol) = spec.cell(cell);
+            cells.push(CellSummary {
+                label: label.to_owned(),
+                scenario: scenario.name.clone(),
+                protocol,
+                summary: Summary::from_reports(&reports[start..end])
+                    .expect("every cell has >= 1 replication"),
+            });
+            start = end;
+        }
         if self.progress {
             eprintln!(
                 "[vanet-runner] campaign '{}' finished: {} jobs in {:.2}s",
@@ -218,5 +255,64 @@ mod tests {
     #[should_panic(expected = "empty scenario or protocol set")]
     fn empty_spec_panics() {
         let _ = Runner::new().run(&CampaignSpec::new("empty"));
+    }
+
+    fn shard_spec() -> CampaignSpec {
+        CampaignSpec::new("sharded")
+            .scenario(
+                "a",
+                Scenario::highway(8)
+                    .with_flows(1)
+                    .with_duration(SimDuration::from_secs(5.0)),
+            )
+            .scenario(
+                "b",
+                Scenario::highway(12)
+                    .with_flows(1)
+                    .with_duration(SimDuration::from_secs(5.0)),
+            )
+            .protocols([ProtocolKind::Flooding, ProtocolKind::Greedy])
+            .replications(2)
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover_the_full_campaign() {
+        let spec = shard_spec();
+        let full = Runner::new().with_workers(2).run(&spec);
+        let count = 3;
+        let mut union: Vec<CellSummary> = Vec::new();
+        for index in 0..count {
+            let shard = Runner::new()
+                .with_workers(2)
+                .with_shard(index, count)
+                .run(&spec);
+            for cell in shard.cells {
+                assert!(
+                    !union
+                        .iter()
+                        .any(|c| c.label == cell.label && c.protocol == cell.protocol),
+                    "cell {}/{} appeared in two shards",
+                    cell.label,
+                    cell.protocol
+                );
+                union.push(cell);
+            }
+        }
+        assert_eq!(union.len(), full.cells.len(), "shards must cover all cells");
+        // Shard execution must not change any cell's result: compare against
+        // the unsharded run cell by cell.
+        for cell in &full.cells {
+            let from_shard = union
+                .iter()
+                .find(|c| c.label == cell.label && c.protocol == cell.protocol)
+                .expect("cell covered by some shard");
+            assert_eq!(from_shard.summary, cell.summary, "sharding altered a cell");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        let _ = Runner::new().with_shard(3, 3);
     }
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod campaign;
 pub mod catalog;
 pub mod engine;
@@ -47,6 +48,7 @@ pub mod export;
 pub mod scenario_spec;
 pub mod summary;
 
+pub use bench::{peak_rss_bytes, render_bench_json, run_hotpath_bench, BenchOutcome, BenchRun};
 pub use campaign::{protocol_by_name, CampaignSpec, Job};
 pub use catalog::{campaign_by_name, parse_scenario, CATALOG};
 pub use engine::{CampaignResults, CellSummary, Runner};

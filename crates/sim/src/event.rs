@@ -106,7 +106,18 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.push_with_seq(time, seq, event);
+    }
+
+    /// Schedules `event` at `time` with a caller-assigned tie-break sequence
+    /// number. Used by [`Scheduler`](crate::Scheduler), which shares one
+    /// sequence counter between this heap and its batched timer wheel so that
+    /// the merged pop order is identical to a single queue's.
+    ///
+    /// `seq` must be strictly larger than any sequence number already used,
+    /// or same-time ordering becomes unspecified.
+    pub fn push_with_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        self.next_seq = self.next_seq.max(seq + 1);
         self.live += 1;
         self.heap.push(EventEntry {
             time,
@@ -120,7 +131,12 @@ impl<E> EventQueue<E> {
     /// passed to [`EventQueue::cancel`].
     pub fn push_cancellable(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.push_cancellable_with_seq(time, seq, event)
+    }
+
+    /// Like [`EventQueue::push_with_seq`], returning a cancellation handle.
+    pub fn push_cancellable_with_seq(&mut self, time: SimTime, seq: u64, event: E) -> EventHandle {
+        self.next_seq = self.next_seq.max(seq + 1);
         self.live += 1;
         let idx = self.cancelled.len();
         self.cancelled.push(false);
@@ -151,6 +167,14 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.drop_cancelled_head();
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// Returns the `(time, seq)` key of the next live event without removing
+    /// it — the key the scheduler merges against its timer wheel.
+    #[must_use]
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|e| (e.time, e.seq))
     }
 
     /// Removes and returns the next live event.

@@ -33,6 +33,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use error::SimError;
 pub use event::{EventEntry, EventHandle, EventQueue};
@@ -42,3 +43,4 @@ pub use rng::SimRng;
 pub use scheduler::{Clock, Scheduler};
 pub use stats::{Counter, Histogram, RunningStats, TimeWeightedAverage};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;

@@ -25,6 +25,7 @@
 use crate::error::SimError;
 use crate::event::{EventHandle, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 
 /// Read-only access to the current simulation time.
 pub trait Clock {
@@ -32,11 +33,19 @@ pub trait Clock {
     fn now(&self) -> SimTime;
 }
 
-/// A discrete-event scheduler combining a clock and an event queue.
+/// A discrete-event scheduler combining a clock, an event queue and an
+/// optional batched timer wheel for high-volume periodic events.
+///
+/// The queue and the wheel share one sequence counter, and
+/// [`Scheduler::next_event`] pops whichever holds the smaller `(time, seq)`
+/// key — so enabling batching never changes the order events fire in, only
+/// the cost of scheduling them.
 #[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     now: SimTime,
     queue: EventQueue<E>,
+    wheel: Option<TimerWheel<E>>,
+    seq: u64,
     processed: u64,
     horizon: Option<SimTime>,
 }
@@ -60,6 +69,8 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            wheel: None,
+            seq: 0,
             processed: 0,
             horizon: None,
         }
@@ -88,13 +99,32 @@ impl<E> Scheduler<E> {
     /// Number of events still pending.
     #[must_use]
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.wheel.as_ref().map_or(0, TimerWheel::len)
     }
 
     /// Whether no events remain.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.pending_events() == 0
+    }
+
+    /// Enables the batched timer wheel with `slot`-wide buckets. Call once,
+    /// before the first [`Scheduler::schedule_batched_after`]; pick the slot
+    /// close to the period of the batched events (e.g. the beacon interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slot` is positive and finite.
+    pub fn enable_batching(&mut self, slot: SimDuration) {
+        if self.wheel.is_none() {
+            self.wheel = Some(TimerWheel::new(slot));
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Schedules an event at an absolute time.
@@ -110,19 +140,42 @@ impl<E> Scheduler<E> {
                 requested: time,
             });
         }
-        self.queue.push(time, event);
+        let seq = self.next_seq();
+        self.queue.push_with_seq(time, seq, event);
         Ok(())
     }
 
     /// Schedules an event `delay` after the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
-        self.queue.push(self.now + delay, event);
+        let seq = self.next_seq();
+        self.queue.push_with_seq(self.now + delay, seq, event);
+    }
+
+    /// Schedules an event `delay` after the current time through the batched
+    /// timer wheel: an O(1) bucket push instead of a heap insertion. Intended
+    /// for the per-node periodic timers (beacons) that would otherwise
+    /// dominate the heap — i.e. events landing within a few slot widths of
+    /// now. Falls back to the heap when batching is disabled or the delay is
+    /// so far ahead that bucketing it would allocate a long run of empty
+    /// slots ([`TimerWheel::MAX_SLOTS_AHEAD`]).
+    ///
+    /// Fire order is identical either way — the wheel shares the queue's
+    /// sequence counter and `next_event` merges the two by `(time, seq)`.
+    pub fn schedule_batched_after(&mut self, delay: SimDuration, event: E) {
+        let time = self.now + delay;
+        let seq = self.next_seq();
+        match &mut self.wheel {
+            Some(wheel) if wheel.accepts(time) => wheel.push(time, seq, event),
+            _ => self.queue.push_with_seq(time, seq, event),
+        }
     }
 
     /// Schedules an event `delay` after the current time, returning a handle
     /// that can be used to cancel it.
     pub fn schedule_after_cancellable(&mut self, delay: SimDuration, event: E) -> EventHandle {
-        self.queue.push_cancellable(self.now + delay, event)
+        let seq = self.next_seq();
+        self.queue
+            .push_cancellable_with_seq(self.now + delay, seq, event)
     }
 
     /// Cancels a previously scheduled event.
@@ -130,10 +183,29 @@ impl<E> Scheduler<E> {
         self.queue.cancel(handle)
     }
 
+    /// The `(time, seq)` key of the next pending event across queue and
+    /// wheel, plus whether it lives in the wheel.
+    fn peek_merged(&mut self) -> Option<(SimTime, u64, bool)> {
+        let heap_key = self.queue.peek_key();
+        let wheel_key = self.wheel.as_mut().and_then(TimerWheel::peek);
+        match (heap_key, wheel_key) {
+            (None, None) => None,
+            (Some((t, s)), None) => Some((t, s, false)),
+            (None, Some((t, s))) => Some((t, s, true)),
+            (Some(h), Some(w)) => {
+                if w < h {
+                    Some((w.0, w.1, true))
+                } else {
+                    Some((h.0, h.1, false))
+                }
+            }
+        }
+    }
+
     /// Time of the next pending event, if any.
     #[must_use]
     pub fn next_event_time(&mut self) -> Option<SimTime> {
-        self.queue.peek_time()
+        self.peek_merged().map(|(time, _, _)| time)
     }
 
     /// Pops the next event and advances the clock to its time.
@@ -141,13 +213,17 @@ impl<E> Scheduler<E> {
     /// Returns `None` when the queue is empty or the next event lies beyond
     /// the configured horizon.
     pub fn next_event(&mut self) -> Option<(SimTime, E)> {
-        let next_time = self.queue.peek_time()?;
+        let (next_time, _, from_wheel) = self.peek_merged()?;
         if let Some(h) = self.horizon {
             if next_time > h {
                 return None;
             }
         }
-        let (time, event) = self.queue.pop()?;
+        let (time, event) = if from_wheel {
+            self.wheel.as_mut().expect("peek said wheel").pop()?
+        } else {
+            self.queue.pop()?
+        };
         debug_assert!(
             time >= self.now,
             "event queue returned an event in the past"
@@ -176,6 +252,9 @@ impl<E> Scheduler<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.queue.clear();
+        if let Some(wheel) = &mut self.wheel {
+            wheel.clear();
+        }
     }
 }
 
@@ -245,6 +324,72 @@ mod tests {
         s.advance_to(SimTime::from_secs(10.0)).unwrap();
         assert_eq!(s.now(), SimTime::from_secs(10.0));
         assert!(s.advance_to(SimTime::from_secs(5.0)).is_err());
+    }
+
+    #[test]
+    fn batched_and_heap_events_fire_in_identical_merged_order() {
+        // Interleave "beacon" (batched) and "arrival" (heap) events with
+        // colliding timestamps; the pop order must equal a pure-heap
+        // scheduler's, including same-time tie-breaks by scheduling order.
+        let mut rng = crate::SimRng::new(42);
+        let mut plan: Vec<(bool, f64)> = Vec::new();
+        for _ in 0..500 {
+            let batched = rng.chance(0.5);
+            // Coarse timestamps force plenty of exact ties.
+            let t = (rng.uniform_range(0.0, 20.0) * 4.0).round() / 4.0;
+            plan.push((batched, t));
+        }
+
+        let mut plain: Scheduler<usize> = Scheduler::new();
+        let mut wheeled: Scheduler<usize> = Scheduler::new();
+        wheeled.enable_batching(SimDuration::from_secs(1.0));
+        for (i, &(batched, t)) in plan.iter().enumerate() {
+            let d = SimDuration::from_secs(t);
+            plain.schedule_after(d, i);
+            if batched {
+                wheeled.schedule_batched_after(d, i);
+            } else {
+                wheeled.schedule_after(d, i);
+            }
+        }
+        loop {
+            let a = plain.next_event();
+            let b = wheeled.next_event();
+            assert_eq!(a, b, "merged pop order diverged");
+            if a.is_none() {
+                break;
+            }
+            // Re-schedule a fraction to exercise pushes into activated slots.
+            if let Some((_, i)) = a {
+                if i % 7 == 0 && plain.processed_events() < 700 {
+                    let d = SimDuration::from_secs(0.3);
+                    plain.schedule_after(d, i + 10_000);
+                    wheeled.schedule_batched_after(d, i + 10_000);
+                }
+            }
+        }
+        assert_eq!(plain.processed_events(), wheeled.processed_events());
+    }
+
+    #[test]
+    fn far_future_batched_events_fall_back_to_heap_and_keep_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_batching(SimDuration::from_secs(1.0));
+        // An hour-scale timer on a 1 s wheel must not allocate thousands of
+        // empty slots; it goes to the heap and still fires in order.
+        s.schedule_batched_after(SimDuration::from_secs(100_000.0), 2);
+        s.schedule_batched_after(SimDuration::from_secs(1.0), 1);
+        assert_eq!(s.pending_events(), 2);
+        assert_eq!(s.next_event().unwrap().1, 1);
+        assert_eq!(s.next_event().unwrap().1, 2);
+    }
+
+    #[test]
+    fn batching_without_enable_falls_back_to_heap() {
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        s.schedule_batched_after(SimDuration::from_secs(1.0), Ev::A);
+        assert_eq!(s.pending_events(), 1);
+        assert_eq!(s.next_event().unwrap().1, Ev::A);
     }
 
     #[test]
