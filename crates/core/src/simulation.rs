@@ -31,7 +31,10 @@ pub struct Flow {
 #[derive(Debug)]
 enum Event {
     MobilityStep,
-    Tick,
+    /// Per-node maintenance deadline (replaces the old fleet-wide `Tick`):
+    /// lazy neighbour-lease purge, neighbour-count sample, `on_tick`. Rides
+    /// the batched timer wheel like beacons do.
+    Maintain(NodeId),
     Beacon(NodeId),
     FlowSend(usize),
     PacketArrival {
@@ -63,7 +66,11 @@ pub struct Simulation {
     bus_ids: Vec<NodeId>,
     medium: Medium,
     medium_rng: SimRng,
-    /// Spatial index over current node positions, rebuilt every mobility step.
+    /// Spatial index over current node positions. Built once at start-up and
+    /// maintained incrementally: every mobility step feeds per-node position
+    /// deltas into [`SpatialGrid::update`] (a full rebuild would only be
+    /// needed if the cell size — the propagation model's maximum range —
+    /// changed mid-run, which it never does).
     grid: SpatialGrid,
     scheduler: Scheduler<Event>,
     location: TableLocationService,
@@ -79,6 +86,9 @@ pub struct Simulation {
     action_scratch: Vec<Action>,
     /// Reusable buffer for `Medium::transmit_indexed_into`.
     delivery_buf: Vec<Delivery>,
+    /// Reusable buffer for expired-neighbour ids during a maintenance event
+    /// (ping-ponged around `dispatch`, so purges allocate nothing).
+    lost_scratch: Vec<NodeId>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -205,19 +215,23 @@ impl Simulation {
             sink: ActionSink::new(),
             action_scratch: Vec::new(),
             delivery_buf: Vec::new(),
+            lost_scratch: Vec::new(),
         };
-        // Beacons go through the scheduler's timer wheel: one slot per beacon
-        // interval instead of one heap entry per node.
+        // Beacons and per-node maintenance deadlines go through the
+        // scheduler's timer wheel: one slot per interval instead of one heap
+        // entry per node.
         sim.scheduler.enable_batching(sim.beacon_config.interval);
-        sim.rebuild_grid();
+        sim.build_grid();
         sim.schedule_initial_events(&mut traffic_rng);
         sim
     }
 
-    /// Rebuilds the spatial index from the current node positions. Node ids
-    /// ascend in `nodes` order, so grid queries (which sort by id) candidate
-    /// nodes in exactly the order the old exhaustive scan visited them.
-    fn rebuild_grid(&mut self) {
+    /// Builds the spatial index from the current node positions — once, at
+    /// start-up; mobility steps keep it current via [`SpatialGrid::update`].
+    /// Node ids ascend in `nodes` order, so grid queries (which sort by id)
+    /// candidate nodes in exactly the order the old exhaustive scan visited
+    /// them.
+    fn build_grid(&mut self) {
         let positions: Vec<(NodeId, Position)> = self
             .nodes
             .iter()
@@ -229,8 +243,14 @@ impl Simulation {
     fn schedule_initial_events(&mut self, traffic_rng: &mut SimRng) {
         self.scheduler
             .schedule_after(self.scenario.mobility_step, Event::MobilityStep);
-        self.scheduler
-            .schedule_after(self.scenario.tick_interval, Event::Tick);
+        // One maintenance deadline per node, scheduled in ascending node
+        // order so same-timestamp wheel entries fire in exactly the order
+        // the old fleet-wide `Tick` loop visited the nodes.
+        for i in 0..self.nodes.len() {
+            let id = self.nodes[i].id;
+            self.scheduler
+                .schedule_batched_after(self.scenario.tick_interval, Event::Maintain(id));
+        }
         for i in 0..self.nodes.len() {
             if let Some(interval) = self.nodes[i].protocol.beacon_interval() {
                 let jitter = interval * traffic_rng.uniform_range(0.0, 1.0);
@@ -277,9 +297,51 @@ impl Simulation {
         self.scheduler.processed_events()
     }
 
+    /// How often (in events) the run loop warms the cache for upcoming
+    /// events, and how many upcoming events it previews each time.
+    const WARM_STRIDE: u32 = 8;
+    const WARM_LOOKAHEAD: usize = 16;
+
+    /// Touches the per-node state the next few events will need. Event
+    /// handling is a serial chain of dependent cache misses over hundreds of
+    /// megabytes of per-node tables at fleet scale; issuing the next events'
+    /// loads a few microseconds early lets those misses overlap instead of
+    /// serialising. Purely a cache hint — `black_box` just keeps the reads
+    /// alive — so behaviour is untouched.
+    fn warm_upcoming(&self) {
+        let mut warm = 0usize;
+        for event in self.scheduler.peek_upcoming(Self::WARM_LOOKAHEAD) {
+            match event {
+                Event::PacketArrival {
+                    receiver, packet, ..
+                } => {
+                    // Walk the exact lines the arrival's neighbour refresh
+                    // will touch (header, key scan, entry slot).
+                    warm ^= self.nodes[receiver.index()]
+                        .neighbors
+                        .warm_for(packet.prev_hop);
+                }
+                Event::BackboneArrival { receiver, .. } => {
+                    warm ^= self.nodes[receiver.index()].neighbors.len();
+                }
+                Event::Beacon(id) | Event::Maintain(id) => {
+                    warm ^= self.nodes[id.index()].neighbors.len();
+                }
+                Event::MobilityStep | Event::FlowSend(_) => {}
+            }
+        }
+        std::hint::black_box(warm);
+    }
+
     /// Runs the simulation to completion and returns the report.
     pub fn run(&mut self) -> Report {
+        let mut until_warm = 0u32;
         while let Some((now, event)) = self.scheduler.next_event() {
+            if until_warm == 0 {
+                until_warm = Self::WARM_STRIDE;
+                self.warm_upcoming();
+            }
+            until_warm -= 1;
             self.handle_event(now, event);
         }
         self.metrics
@@ -295,27 +357,40 @@ impl Simulation {
             Event::MobilityStep => {
                 self.mobility
                     .step(self.scenario.mobility_step, &mut self.mobility_rng);
+                // Position deltas feed the spatial index directly — no
+                // per-step position collect, no rebuild. RSUs are not part
+                // of the mobility model and simply stay in their cells.
                 for state in self.mobility.states() {
-                    let idx = self.node_index(state.id);
+                    let idx = state.id.index();
+                    let old_pos = self.nodes[idx].state.position;
+                    if old_pos != state.position {
+                        self.grid.update(state.id, old_pos, state.position);
+                    }
                     self.nodes[idx].state = *state;
                     self.location.set(state.id, state.position, state.velocity);
                 }
-                self.rebuild_grid();
                 self.scheduler
                     .schedule_after(self.scenario.mobility_step, Event::MobilityStep);
             }
-            Event::Tick => {
-                for idx in 0..self.nodes.len() {
-                    let lost = self.nodes[idx].neighbors.purge_expired(now);
-                    let count = self.nodes[idx].neighbors.len();
-                    self.metrics.record_neighbor_count(count);
-                    for neighbor in lost {
-                        self.dispatch(idx, now, |p, ctx| p.on_neighbor_lost(ctx, neighbor));
-                    }
-                    self.dispatch(idx, now, |p, ctx| p.on_tick(ctx));
+            Event::Maintain(node_id) => {
+                // Per-node maintenance, byte-identical to one iteration of
+                // the old fleet-wide `Tick` loop: lazy lease purge (an O(1)
+                // deadline check for most nodes), the post-purge neighbour-
+                // count sample, loss callbacks in ascending neighbour order,
+                // then the protocol's periodic tick.
+                let idx = self.node_index(node_id);
+                let mut lost = std::mem::take(&mut self.lost_scratch);
+                lost.clear();
+                self.nodes[idx].neighbors.purge_due(now, &mut lost);
+                let count = self.nodes[idx].neighbors.len();
+                self.metrics.record_neighbor_count(count);
+                for &neighbor in &lost {
+                    self.dispatch(idx, now, |p, ctx| p.on_neighbor_lost(ctx, neighbor));
                 }
+                self.lost_scratch = lost;
+                self.dispatch(idx, now, |p, ctx| p.on_tick(ctx));
                 self.scheduler
-                    .schedule_after(self.scenario.tick_interval, Event::Tick);
+                    .schedule_batched_after(self.scenario.tick_interval, Event::Maintain(node_id));
             }
             Event::Beacon(node_id) => {
                 let idx = self.node_index(node_id);

@@ -163,6 +163,71 @@ pub fn distance(a: Position, b: Position) -> f64 {
     (a - b).norm()
 }
 
+/// Whether `a` and `b` are within `threshold` metres of each other —
+/// decides exactly like `distance(a, b) <= threshold`, but without the
+/// `hypot` call for all but borderline inputs.
+///
+/// `hypot` (the carefully-scaled, sub-ulp-accurate libm routine behind
+/// [`distance`]) dominates the fleet-scale transmit pipeline, yet almost
+/// every call only feeds a range comparison. The squared comparison
+/// `dx² + dy² ≤ threshold²` is a handful of cycles but not bit-equivalent,
+/// so it is used as a *conservative band*: accept when the squared distance
+/// is below `threshold²·(1 − 1e-9)`, reject above `threshold²·(1 + 1e-9)`,
+/// and fall back to the exact `hypot` comparison inside the band. The band
+/// is millions of ulps wide while the squared form's rounding error is a
+/// few ulps, so the fast paths can never disagree with the exact
+/// comparison — byte-identical simulation outcomes, pinned by the golden
+/// tests.
+#[must_use]
+pub fn within(a: Position, b: Position, threshold: f64) -> bool {
+    WithinFilter::new(threshold).check(a, b)
+}
+
+/// The reusable form of [`within`]: precomputes the banded squared bounds
+/// once so a loop testing many positions against one threshold pays only a
+/// subtraction, two multiplies and a compare per element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WithinFilter {
+    threshold: f64,
+    accept_below: f64,
+    reject_above: f64,
+}
+
+impl WithinFilter {
+    /// Relative half-width of the exact-comparison band: millions of ulps,
+    /// dwarfing the few-ulp rounding of the squared distance, so the fast
+    /// accept/reject paths can never contradict `distance(a, b) <= t`.
+    const BAND: f64 = 1e-9;
+
+    /// Builds a filter deciding `distance(a, b) <= threshold`.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        let t2 = threshold * threshold;
+        WithinFilter {
+            threshold,
+            accept_below: t2 * (1.0 - Self::BAND),
+            reject_above: t2 * (1.0 + Self::BAND),
+        }
+    }
+
+    /// Whether `a` and `b` are within the threshold — decision-identical to
+    /// `distance(a, b) <= threshold`.
+    #[must_use]
+    pub fn check(&self, a: Position, b: Position) -> bool {
+        if self.threshold < 0.0 {
+            return false;
+        }
+        let d2 = (a - b).norm_sq();
+        if d2 <= self.accept_below {
+            return true;
+        }
+        if d2 >= self.reject_above {
+            return false;
+        }
+        distance(a, b) <= self.threshold
+    }
+}
+
 /// A compass-free heading: the direction of travel as a unit vector.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Heading(Vec2);
@@ -293,5 +358,40 @@ mod tests {
     fn display_impls() {
         assert_eq!(Vec2::new(1.0, 2.0).to_string(), "(1.00, 2.00)");
         assert_eq!(Heading::NORTH.to_string(), "90°");
+    }
+
+    #[test]
+    fn within_agrees_with_the_exact_distance_comparison() {
+        // Deterministic pseudo-random sweep without pulling in SimRng (this
+        // crate sits below vanet-sim): a Weyl sequence over positions and
+        // thresholds, plus adversarial exactly-on-the-boundary cases.
+        let mut x = 0.5_f64;
+        let mut next = move || {
+            x = (x + std::f64::consts::FRAC_1_SQRT_2) % 1.0;
+            x
+        };
+        for _ in 0..20_000 {
+            let a = Vec2::new(next() * 4_000.0 - 2_000.0, next() * 4_000.0 - 2_000.0);
+            let b = Vec2::new(next() * 4_000.0 - 2_000.0, next() * 4_000.0 - 2_000.0);
+            let threshold = next() * 600.0;
+            assert_eq!(
+                within(a, b, threshold),
+                distance(a, b) <= threshold,
+                "within() diverged at {a:?} {b:?} threshold {threshold}"
+            );
+        }
+        // Boundary: distance exactly equal to the threshold must accept.
+        let a = Vec2::ZERO;
+        let b = Vec2::new(250.0, 0.0);
+        assert!(within(a, b, 250.0));
+        assert!(!within(a, b, 249.999_999_999));
+        // The band fallback: thresholds a hair around an exact diagonal.
+        let c = Vec2::new(3.0, 4.0);
+        assert!(within(Vec2::ZERO, c, 5.0));
+        assert!(!within(Vec2::ZERO, c, 5.0 - 1e-12));
+        // Degenerate thresholds.
+        assert!(within(a, a, 0.0));
+        assert!(!within(a, b, 0.0));
+        assert!(!within(a, b, -1.0));
     }
 }

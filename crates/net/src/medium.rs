@@ -10,8 +10,8 @@ use crate::channel::PropagationModel;
 use crate::mac::MacParams;
 use crate::packet::Packet;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
-use vanet_mobility::geometry::distance;
+use std::collections::{HashMap, VecDeque};
+use vanet_mobility::geometry::{distance, within, WithinFilter};
 use vanet_mobility::Position;
 use vanet_sim::{Counter, NodeId, SimRng, SimTime};
 
@@ -80,12 +80,141 @@ impl MediumStats {
 }
 
 /// Number of `positions` within `range` of `center` (the interference count
-/// against a per-transmission snapshot of the contention window).
+/// against a per-transmission snapshot of the contention window). Uses the
+/// banded squared-distance comparison — decision-identical to
+/// `distance(p, center) <= range` without the per-entry `hypot`.
 fn count_within(positions: &[Position], center: Position, range: f64) -> usize {
+    let filter = WithinFilter::new(range);
     positions
         .iter()
-        .filter(|&&p| distance(p, center) <= range)
+        .filter(|&&p| filter.check(p, center))
         .count()
+}
+
+/// A coarse uniform-grid index over recent transmissions.
+///
+/// The interference pipeline needs "transmissions inside the contention
+/// window near this point". A flat deque of every recent transmission made
+/// that an O(fleet × rate) scan *per frame* — at 100k beaconing vehicles the
+/// window holds thousands of entries and the scan dwarfed the rest of the
+/// transmit path. Bucketing by position bounds each query to the 3×3 cells
+/// around the point. Per-cell deques stay time-ordered (simulation time is
+/// monotone), so pruning is a pop-front loop; queries re-apply the exact
+/// time-window and banded-distance predicates, so the surviving set — and
+/// therefore every interference *count* derived from it — is identical to
+/// the flat scan's. Only counts ever leave this index, so the cell-by-cell
+/// visit order is unobservable.
+#[derive(Debug, Default)]
+struct RecentIndex {
+    cell_m: f64,
+    cells: HashMap<(i64, i64), VecDeque<(SimTime, Position)>>,
+}
+
+impl RecentIndex {
+    /// (Re)initialises the index for `cell_m`-sized cells. Queries are valid
+    /// for any radius up to `cell_m`.
+    fn reset(&mut self, cell_m: f64) {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "recent-transmission cell size must be positive and finite"
+        );
+        self.cell_m = cell_m;
+        self.cells.clear();
+    }
+
+    fn cell_of(&self, pos: Position) -> (i64, i64) {
+        (
+            (pos.x / self.cell_m).floor() as i64,
+            (pos.y / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// Records a transmission and prunes that cell's entries older than
+    /// `keep` (entries arrive in time order, so pruning is front-pops).
+    fn push(&mut self, now: SimTime, pos: Position, keep: f64) {
+        let cell = self.cells.entry(self.cell_of(pos)).or_default();
+        while let Some((t, _)) = cell.front() {
+            if now.saturating_since(*t).as_secs() > keep {
+                cell.pop_front();
+            } else {
+                break;
+            }
+        }
+        cell.push_back((now, pos));
+    }
+
+    /// Appends to `out` the positions of transmissions within `window`
+    /// seconds before `now` and within `radius` of `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the cell size (the 3×3 block would miss
+    /// entries further than one cell away).
+    fn collect_window(
+        &self,
+        now: SimTime,
+        center: Position,
+        window: f64,
+        radius: f64,
+        out: &mut Vec<Position>,
+    ) {
+        assert!(
+            radius <= self.cell_m,
+            "query radius {radius} exceeds recent-index cell size {}",
+            self.cell_m
+        );
+        let filter = WithinFilter::new(radius);
+        let (cx, cy) = self.cell_of(center);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cell) = self.cells.get(&(cx + dx, cy + dy)) {
+                    // Entries are time-ordered: skip the stale prefix, then
+                    // everything from the first in-window entry onward is in
+                    // the window.
+                    for &(t, p) in cell.iter().rev() {
+                        if now.saturating_since(t).as_secs() > window {
+                            break;
+                        }
+                        if filter.check(p, center) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts transmissions within `window` seconds before `now` and within
+    /// `radius` of `center` — allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the cell size.
+    fn count_window(&self, now: SimTime, center: Position, window: f64, radius: f64) -> usize {
+        assert!(
+            radius <= self.cell_m,
+            "query radius {radius} exceeds recent-index cell size {}",
+            self.cell_m
+        );
+        let filter = WithinFilter::new(radius);
+        let (cx, cy) = self.cell_of(center);
+        let mut count = 0;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cell) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &(t, p) in cell.iter().rev() {
+                        if now.saturating_since(t).as_secs() > window {
+                            break;
+                        }
+                        if filter.check(p, center) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
 }
 
 /// The shared broadcast medium connecting all nodes.
@@ -93,8 +222,9 @@ fn count_within(positions: &[Position], center: Position, range: f64) -> usize {
 pub struct Medium {
     config: MediumConfig,
     propagation: Box<dyn PropagationModel + Send>,
-    /// Recent transmissions: (time, position). Used to estimate channel load.
-    recent: VecDeque<(SimTime, Position)>,
+    /// Recent transmissions, spatially bucketed. Used for the interference
+    /// snapshot and to estimate channel load.
+    recent: RecentIndex,
     /// Positions of the transmissions inside the contention window at the
     /// time of the current frame — snapshotted once per transmission so the
     /// per-receiver interference count is a scan of the (small) in-window
@@ -102,6 +232,8 @@ pub struct Medium {
     snapshot: Vec<Position>,
     /// Reusable buffer for spatial-grid candidate queries.
     candidates: Vec<(NodeId, Position)>,
+    /// Scratch buffer for the grid query's run merge.
+    candidate_scratch: Vec<(NodeId, Position)>,
     stats: MediumStats,
 }
 
@@ -109,14 +241,27 @@ impl Medium {
     /// Creates a medium with the given configuration and propagation model.
     #[must_use]
     pub fn new(config: MediumConfig, propagation: Box<dyn PropagationModel + Send>) -> Self {
+        let mut recent = RecentIndex::default();
+        recent.reset(Self::relevant_range(propagation.as_ref()));
         Medium {
             config,
             propagation,
-            recent: VecDeque::new(),
+            recent,
             snapshot: Vec::new(),
             candidates: Vec::new(),
+            candidate_scratch: Vec::new(),
             stats: MediumStats::default(),
         }
+    }
+
+    /// The largest distance at which a recent transmission can matter to any
+    /// receiver of a frame: every receiver lies within `max_range` of the
+    /// sender, interference reaches `2 × nominal_range`, and the extra metre
+    /// of slack dwarfs any floating-point rounding. Doubles as the recent-
+    /// index cell size, so 3×3-cell queries cover both the snapshot radius
+    /// and the smaller `channel_load` radius.
+    fn relevant_range(propagation: &(dyn PropagationModel + Send)) -> f64 {
+        propagation.max_range() + propagation.nominal_range() * 2.0 + 1.0
     }
 
     /// The propagation model in use.
@@ -149,23 +294,7 @@ impl Medium {
         let window = self.config.mac.contention_window_s;
         let interference_range = self.propagation.nominal_range() * 2.0;
         self.recent
-            .iter()
-            .filter(|(t, p)| {
-                now.saturating_since(*t).as_secs() <= window
-                    && distance(*p, position) <= interference_range
-            })
-            .count()
-    }
-
-    fn prune_recent(&mut self, now: SimTime) {
-        let window = self.config.mac.contention_window_s * 4.0;
-        while let Some((t, _)) = self.recent.front() {
-            if now.saturating_since(*t).as_secs() > window {
-                self.recent.pop_front();
-            } else {
-                break;
-            }
-        }
+            .count_window(now, position, window, interference_range)
     }
 
     /// Transmits `packet` from `sender` at `sender_pos` to every node in
@@ -227,10 +356,17 @@ impl Medium {
         out.clear();
         self.begin_transmission(now, sender_pos, packet);
         let mut candidates = std::mem::take(&mut self.candidates);
-        grid.candidates_within_into(sender_pos, self.propagation.max_range(), &mut candidates);
+        let mut scratch = std::mem::take(&mut self.candidate_scratch);
+        grid.candidates_within_scratch(
+            sender_pos,
+            self.propagation.max_range(),
+            &mut candidates,
+            &mut scratch,
+        );
         self.deliver(now, sender, sender_pos, packet, &candidates, rng, out);
         candidates.clear();
         self.candidates = candidates;
+        self.candidate_scratch = scratch;
     }
 
     /// Books the transmission into the contention window and the statistics,
@@ -241,26 +377,21 @@ impl Medium {
     /// frame's sender or any of its receivers: every receiver lies within
     /// `max_range` of the sender, so by the triangle inequality an entry
     /// further than `max_range + interference_range` from the sender is out
-    /// of interference range of all of them. The extra metre of slack dwarfs
-    /// any floating-point rounding, so the filter never excludes an entry
-    /// the exact per-receiver distance check would have counted.
+    /// of interference range of all of them (see [`Medium::relevant_range`]).
+    /// The spatially-bucketed recent index serves that query from the 3×3
+    /// cells around the sender instead of a scan of every in-window
+    /// transmission in the fleet; the predicates are unchanged, so the
+    /// snapshot multiset — and every count derived from it — is identical.
     fn begin_transmission(&mut self, now: SimTime, sender_pos: Position, packet: &Packet) {
-        self.prune_recent(now);
-        self.recent.push_back((now, sender_pos));
+        let keep = self.config.mac.contention_window_s * 4.0;
+        self.recent.push(now, sender_pos, keep);
         self.stats.transmissions.incr();
         self.stats.bytes_transmitted.add(packet.size_bytes() as u64);
         let window = self.config.mac.contention_window_s;
-        let relevant = self.propagation.max_range() + self.propagation.nominal_range() * 2.0 + 1.0;
+        let relevant = Self::relevant_range(self.propagation.as_ref());
         self.snapshot.clear();
-        self.snapshot.extend(
-            self.recent
-                .iter()
-                .filter(|&&(t, p)| {
-                    now.saturating_since(t).as_secs() <= window
-                        && distance(p, sender_pos) <= relevant
-                })
-                .map(|&(_, p)| p),
-        );
+        self.recent
+            .collect_window(now, sender_pos, window, relevant, &mut self.snapshot);
     }
 
     /// Runs the propagation / contention / collision pipeline over the
@@ -277,23 +408,34 @@ impl Medium {
         out: &mut Vec<Delivery>,
     ) {
         let interference_range = self.propagation.nominal_range() * 2.0;
+        // The snapshot always contains this frame's own entry; when it is
+        // the only one, every interference count below is 0 after the
+        // self-discount, so the scans can be skipped outright (the RNG draws
+        // they feed still happen, so outcomes are identical).
+        let snapshot_trivial = self.snapshot.len() <= 1;
         // `begin_transmission` has already pushed this frame into the window
         // (and the snapshot), so discount it when counting contenders.
-        let contenders =
-            count_within(&self.snapshot, sender_pos, interference_range).saturating_sub(1);
+        let contenders = if snapshot_trivial {
+            0
+        } else {
+            count_within(&self.snapshot, sender_pos, interference_range).saturating_sub(1)
+        };
         let backoff = self.config.mac.sample_backoff(contenders, rng);
         let tx_delay = self.config.mac.transmission_delay(packet.size_bytes());
         let processing = vanet_sim::SimDuration::from_secs(self.config.mac.processing_delay_s);
-        let max_range = self.propagation.max_range();
+        let range_filter = WithinFilter::new(self.propagation.max_range());
 
         for &(node, pos) in nodes {
             if node == sender {
                 continue;
             }
-            let d = distance(sender_pos, pos);
-            if d > max_range {
+            // Cheap banded reject first — a 3×3-cell candidate block holds
+            // roughly twice as many nodes as the range circle, so most
+            // candidates leave here without paying for an exact distance.
+            if !range_filter.check(sender_pos, pos) {
                 continue;
             }
+            let d = distance(sender_pos, pos);
             // Unicast frames are only *delivered* to the intended next hop
             // unless promiscuous overhearing is enabled.
             let intended = match packet.next_hop {
@@ -307,8 +449,11 @@ impl Medium {
                 self.stats.propagation_losses.incr();
                 continue;
             }
-            let interferers =
-                count_within(&self.snapshot, pos, interference_range).saturating_sub(1);
+            let interferers = if snapshot_trivial {
+                0
+            } else {
+                count_within(&self.snapshot, pos, interference_range).saturating_sub(1)
+            };
             if !self.config.mac.sample_collision_survival(interferers, rng) {
                 self.stats.collision_losses.incr();
                 continue;
@@ -329,7 +474,7 @@ impl Medium {
     /// connectivity predicate used by protocols when they reason about links.
     #[must_use]
     pub fn in_range(&self, a: Position, b: Position) -> bool {
-        distance(a, b) <= self.propagation.nominal_range()
+        within(a, b, self.propagation.nominal_range())
     }
 }
 

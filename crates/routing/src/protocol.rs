@@ -214,7 +214,11 @@ impl LocationService for NoLocationService {
 /// A location service backed by a static table of positions/velocities.
 #[derive(Debug, Clone, Default)]
 pub struct TableLocationService {
-    entries: std::collections::BTreeMap<NodeId, (Position, Velocity)>,
+    /// Dense storage indexed by [`NodeId::index`]: node ids are allocated
+    /// contiguously from zero, and the driver refreshes every node's entry
+    /// each mobility step — an O(1) slot write instead of a descent through
+    /// a fleet-sized ordered map.
+    entries: Vec<Option<(Position, Velocity)>>,
 }
 
 impl TableLocationService {
@@ -226,17 +230,29 @@ impl TableLocationService {
 
     /// Sets the position and velocity of a node.
     pub fn set(&mut self, node: NodeId, position: Position, velocity: Velocity) {
-        self.entries.insert(node, (position, velocity));
+        let at = node.index();
+        if at >= self.entries.len() {
+            self.entries.resize(at + 1, None);
+        }
+        self.entries[at] = Some((position, velocity));
     }
 }
 
 impl LocationService for TableLocationService {
     fn position_of(&self, node: NodeId) -> Option<Position> {
-        self.entries.get(&node).map(|e| e.0)
+        self.entries
+            .get(node.index())
+            .copied()
+            .flatten()
+            .map(|e| e.0)
     }
 
     fn velocity_of(&self, node: NodeId) -> Option<Velocity> {
-        self.entries.get(&node).map(|e| e.1)
+        self.entries
+            .get(node.index())
+            .copied()
+            .flatten()
+            .map(|e| e.1)
     }
 }
 

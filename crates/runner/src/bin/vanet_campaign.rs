@@ -8,8 +8,9 @@
 //! Options:
 //!   --list                list catalog campaigns and exit
 //!   --scenarios S1,S2,..  parameterised campaign over these scenarios
-//!                         (highway-<N>, urban-<N>, sparse, normal,
-//!                         congested; options e.g. sparse:rsus=4,flows=5)
+//!                         (highway-<N>, urban-<N>, megacity-<N>, sparse,
+//!                         normal, congested; options e.g.
+//!                         sparse:rsus=4,flows=5)
 //!   --protocols P1,P2,..  protocols for a parameterised campaign
 //!                         (default: the five Table-I representatives)
 //!   --seeds N             replications per cell (default 3)
@@ -23,9 +24,11 @@
 use std::process::ExitCode;
 use vanet_core::ProtocolKind;
 use vanet_runner::{
-    campaign_by_name, parse_scenario, protocol_by_name, render_bench_json, render_csv,
-    render_jsonl, render_table, run_hotpath_bench, CampaignSpec, Runner, CATALOG,
+    campaign_by_name, gate_events_per_sec, parse_scenario, protocol_by_name, render_bench_json,
+    render_csv, render_fleet_bench_json, render_jsonl, render_table, run_fleet_bench,
+    run_hotpath_bench, CampaignSpec, Runner, CATALOG,
 };
+use vanet_sim::pool::available_workers;
 
 #[derive(Debug, PartialEq)]
 enum Format {
@@ -47,9 +50,13 @@ struct Args {
     list: bool,
     shard: Option<(usize, usize)>,
     bench: bool,
+    bench_fleet: bool,
     bench_vehicles: usize,
     bench_duration_s: f64,
     bench_label: String,
+    bench_shards: Option<usize>,
+    bench_gate: Option<String>,
+    bench_gate_ratio: f64,
 }
 
 fn usage() -> String {
@@ -58,7 +65,11 @@ fn usage() -> String {
          [--seeds N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
          [--shard I/N] [--full] [--quiet] [--list]\n       \
          vanet-campaign --bench [--bench-vehicles N] [--bench-duration S] \
-         [--bench-label baseline|current] [--out FILE]\n\ncatalog campaigns:\n",
+         [--bench-label baseline|current] [--out FILE] \
+         [--bench-gate FILE] [--bench-gate-ratio R]\n       \
+         vanet-campaign --bench-fleet [--bench-shards N] [--bench-vehicles N] \
+         [--bench-duration S] [--bench-label baseline|current] [--out FILE]\n\n\
+         catalog campaigns:\n",
     );
     for (name, blurb) in CATALOG {
         text.push_str(&format!("  {name:<10} {blurb}\n"));
@@ -83,9 +94,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         list: false,
         shard: None,
         bench: false,
+        bench_fleet: false,
         bench_vehicles: 10_000,
         bench_duration_s: 20.0,
         bench_label: "current".to_owned(),
+        bench_shards: None,
+        bench_gate: None,
+        bench_gate_ratio: 0.75,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -148,6 +163,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.shard = Some(shard);
             }
             "--bench" => args.bench = true,
+            "--bench-fleet" => args.bench_fleet = true,
+            "--bench-shards" => {
+                let shards: usize = value("--bench-shards")?
+                    .parse()
+                    .map_err(|_| "--bench-shards needs an integer".to_owned())?;
+                if shards == 0 {
+                    return Err("--bench-shards must be at least 1".to_owned());
+                }
+                args.bench_shards = Some(shards);
+            }
+            "--bench-gate" => args.bench_gate = Some(value("--bench-gate")?.clone()),
+            "--bench-gate-ratio" => {
+                let ratio: f64 = value("--bench-gate-ratio")?
+                    .parse()
+                    .map_err(|_| "--bench-gate-ratio needs a number".to_owned())?;
+                if !(0.0..=1.0).contains(&ratio) {
+                    return Err("--bench-gate-ratio must be within 0..=1".to_owned());
+                }
+                args.bench_gate_ratio = ratio;
+            }
             "--bench-vehicles" => {
                 args.bench_vehicles = value("--bench-vehicles")?
                     .parse()
@@ -205,19 +240,53 @@ fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
     }
 }
 
+fn bench_protocol(args: &Args) -> Result<ProtocolKind, String> {
+    match args.protocols.first() {
+        None => Ok(ProtocolKind::Greedy),
+        Some(name) => protocol_by_name(name).ok_or_else(|| format!("unknown protocol {name:?}")),
+    }
+}
+
+/// Applies `--bench-gate`: compares `measured_events_per_sec` against the
+/// committed bench file's events/sec (same scenario and protocol required)
+/// and fails below `--bench-gate-ratio`.
+fn apply_gate(
+    args: &Args,
+    scenario: &str,
+    protocol: ProtocolKind,
+    measured_events_per_sec: f64,
+) -> Result<(), String> {
+    let Some(path) = args.bench_gate.as_deref() else {
+        return Ok(());
+    };
+    let committed = std::fs::read_to_string(path)
+        .map_err(|error| format!("cannot read gate reference {path:?}: {error}"))?;
+    let ratio = gate_events_per_sec(
+        &committed,
+        scenario,
+        protocol.name(),
+        measured_events_per_sec,
+        args.bench_gate_ratio,
+    )
+    .map_err(|message| format!("perf gate vs {path}: {message}"))?;
+    eprintln!(
+        "[vanet-campaign] perf gate vs {path}: {:.0}% of committed events/sec (floor {:.0}%)",
+        ratio * 100.0,
+        args.bench_gate_ratio * 100.0
+    );
+    Ok(())
+}
+
 /// `--bench`: one single-threaded megacity run; the measurement is merged
 /// into the bench JSON file under `--bench-label`, preserving the other
 /// label so baseline/current pairs accumulate a speedup.
 fn run_bench(args: &Args) -> ExitCode {
-    let protocol = match args.protocols.first() {
-        None => ProtocolKind::Greedy,
-        Some(name) => match protocol_by_name(name) {
-            Some(p) => p,
-            None => {
-                eprintln!("unknown protocol {name:?}");
-                return ExitCode::FAILURE;
-            }
-        },
+    let protocol = match bench_protocol(args) {
+        Ok(p) => p,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
     };
     eprintln!(
         "[vanet-campaign] bench: megacity-{} x {}s under {} ({})",
@@ -240,6 +309,71 @@ fn run_bench(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("[vanet-campaign] wrote {path}");
+    if let Err(message) = apply_gate(
+        args,
+        &outcome.scenario,
+        protocol,
+        outcome.run.events_per_sec,
+    ) {
+        eprintln!("{message}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--bench-fleet`: one simulation per core (or `--bench-shards`) on the
+/// worker pool — the fleet-capacity measurement, written to
+/// `BENCH_fleet.json` under `--bench-label`.
+fn run_bench_fleet(args: &Args) -> ExitCode {
+    let protocol = match bench_protocol(args) {
+        Ok(p) => p,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards = args
+        .bench_shards
+        .or(args.workers)
+        .unwrap_or_else(available_workers);
+    eprintln!(
+        "[vanet-campaign] fleet bench: {} x megacity-{} x {}s under {} ({})",
+        shards, args.bench_vehicles, args.bench_duration_s, protocol, args.bench_label
+    );
+    let outcome = run_fleet_bench(args.bench_vehicles, args.bench_duration_s, protocol, shards);
+    let per_core: Vec<String> = outcome
+        .run
+        .per_core_events_per_sec
+        .iter()
+        .map(|eps| format!("{eps:.0}"))
+        .collect();
+    eprintln!(
+        "[vanet-campaign] {} events across {} shards in {:.2}s = {:.0} events/sec aggregate \
+         (per core: [{}]), peak RSS {:.1} MiB",
+        outcome.run.total_events,
+        outcome.run.shards,
+        outcome.run.wall_s,
+        outcome.run.aggregate_events_per_sec,
+        per_core.join(", "),
+        outcome.run.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+    let path = args.out.as_deref().unwrap_or("BENCH_fleet.json");
+    let existing = std::fs::read_to_string(path).ok();
+    let rendered = render_fleet_bench_json(existing.as_deref(), &args.bench_label, &outcome);
+    if let Err(error) = std::fs::write(path, &rendered) {
+        eprintln!("cannot write {path:?}: {error}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[vanet-campaign] wrote {path}");
+    if let Err(message) = apply_gate(
+        args,
+        &outcome.scenario,
+        protocol,
+        outcome.run.mean_core_events_per_sec(),
+    ) {
+        eprintln!("{message}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -260,8 +394,15 @@ fn main() -> ExitCode {
         print!("{}", usage());
         return ExitCode::SUCCESS;
     }
+    if args.bench && args.bench_fleet {
+        eprintln!("--bench and --bench-fleet are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
     if args.bench {
         return run_bench(&args);
+    }
+    if args.bench_fleet {
+        return run_bench_fleet(&args);
     }
     let spec = match build_spec(&args) {
         Ok(spec) => spec,

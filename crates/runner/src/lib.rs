@@ -48,7 +48,10 @@ pub mod export;
 pub mod scenario_spec;
 pub mod summary;
 
-pub use bench::{peak_rss_bytes, render_bench_json, run_hotpath_bench, BenchOutcome, BenchRun};
+pub use bench::{
+    gate_events_per_sec, peak_rss_bytes, render_bench_json, render_fleet_bench_json,
+    run_fleet_bench, run_hotpath_bench, BenchOutcome, BenchRun, FleetBenchOutcome, FleetRun,
+};
 pub use campaign::{protocol_by_name, CampaignSpec, Job};
 pub use catalog::{campaign_by_name, parse_scenario, CATALOG};
 pub use engine::{CampaignResults, CellSummary, Runner};

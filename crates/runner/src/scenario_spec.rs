@@ -9,6 +9,8 @@ use vanet_core::{Scenario, TrafficRegime};
 ///
 /// * `highway-<N>` — an N-vehicle highway;
 /// * `urban-<N>` — an N-vehicle Manhattan grid;
+/// * `megacity-<N>` — the density-preserving stress/bench grid (the city
+///   grows with the fleet; `megacity-100000` is the fleet-capacity workload);
 /// * `sparse` / `normal` / `congested` — a Table-I highway traffic regime;
 /// * an optional `:rsus=<K>` suffix adds K road-side units, e.g.
 ///   `sparse:rsus=4`.
@@ -22,6 +24,8 @@ pub fn parse(spec: &str) -> Option<Scenario> {
         Scenario::highway(count.parse().ok()?)
     } else if let Some(count) = base.strip_prefix("urban-") {
         Scenario::urban(count.parse().ok()?)
+    } else if let Some(count) = base.strip_prefix("megacity-") {
+        Scenario::megacity(count.parse().ok()?)
     } else {
         let regime = match base {
             "sparse" => TrafficRegime::Sparse,
@@ -50,9 +54,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_the_three_families() {
+    fn parses_the_scenario_families() {
         assert_eq!(parse("highway-40").unwrap().vehicle_count(), 40);
         assert_eq!(parse("urban-25").unwrap().vehicle_count(), 25);
+        assert_eq!(parse("megacity-50").unwrap().vehicle_count(), 50);
+        assert_eq!(parse("megacity-50").unwrap().name, "megacity-50");
         assert!(parse("sparse").unwrap().name.contains("sparse"));
         assert!(parse("congested").is_some());
     }

@@ -9,6 +9,7 @@
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::num::NonZeroU32;
 
 /// A scheduled entry: the time, insertion sequence and payload.
 #[derive(Debug, Clone)]
@@ -19,8 +20,11 @@ pub struct EventEntry<E> {
     pub seq: u64,
     /// The event payload.
     pub event: E,
-    /// Cancellation flag index (see [`EventQueue::push_cancellable`]).
-    handle: Option<usize>,
+    /// Cancellation flag index plus one (see
+    /// [`EventQueue::push_cancellable`]); `NonZeroU32` keeps the niche-packed
+    /// option at 4 bytes, which matters when millions of entries flow through
+    /// the heap per simulated second.
+    handle: Option<NonZeroU32>,
 }
 
 impl<E> PartialEq for EventEntry<E> {
@@ -140,11 +144,12 @@ impl<E> EventQueue<E> {
         self.live += 1;
         let idx = self.cancelled.len();
         self.cancelled.push(false);
+        let tag = u32::try_from(idx + 1).expect("more than u32::MAX cancellable events");
         self.heap.push(EventEntry {
             time,
             seq,
             event,
-            handle: Some(idx),
+            handle: NonZeroU32::new(tag),
         });
         EventHandle(idx)
     }
@@ -181,7 +186,8 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
             let entry = self.heap.pop()?;
-            if let Some(idx) = entry.handle {
+            if let Some(tag) = entry.handle {
+                let idx = tag.get() as usize - 1;
                 if self.cancelled[idx] {
                     continue;
                 }
@@ -193,17 +199,31 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Drops all events, leaving the queue empty.
+    /// An approximate preview of events that will pop soon: the first `k`
+    /// entries of the underlying heap array. The heap's array order is not
+    /// sorted, but its prefix is heavily biased towards the smallest keys,
+    /// which is exactly what a cache-warming pass wants — callers use this
+    /// to touch the state upcoming events will need so the misses overlap
+    /// instead of serialising. Purely advisory: no ordering guarantee.
+    pub fn peek_upcoming(&self, k: usize) -> impl Iterator<Item = &E> {
+        self.heap.iter().take(k).map(|entry| &entry.event)
+    }
+
+    /// Drops all events, leaving the queue empty. Handles issued before the
+    /// clear become permanently dead (their flags are tombstoned, not
+    /// recycled, so they can never alias an event pushed afterwards).
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        for flag in &mut self.cancelled {
+            *flag = true;
+        }
         self.live = 0;
     }
 
     fn drop_cancelled_head(&mut self) {
         while let Some(entry) = self.heap.peek() {
             match entry.handle {
-                Some(idx) if self.cancelled[idx] => {
+                Some(tag) if self.cancelled[tag.get() as usize - 1] => {
                     self.heap.pop();
                 }
                 _ => break,

@@ -40,7 +40,7 @@ pub use event::{EventEntry, EventHandle, EventQueue};
 pub use ids::{FlowId, NodeId, PacketId, PacketIdAllocator, SeqNo};
 pub use pool::{available_workers, parallel_map_indexed, parallel_map_with_progress};
 pub use rng::SimRng;
-pub use scheduler::{Clock, Scheduler};
+pub use scheduler::{Clock, Scheduler, TimerHandle};
 pub use stats::{Counter, Histogram, RunningStats, TimeWeightedAverage};
 pub use time::{SimDuration, SimTime};
-pub use wheel::TimerWheel;
+pub use wheel::{TimerWheel, WheelHandle};

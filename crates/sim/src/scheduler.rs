@@ -25,7 +25,19 @@
 use crate::error::SimError;
 use crate::event::{EventHandle, EventQueue};
 use crate::time::{SimDuration, SimTime};
-use crate::wheel::TimerWheel;
+use crate::wheel::{TimerWheel, WheelHandle};
+
+/// A cancellation handle for a batched timer: depending on how far out the
+/// deadline was, the entry landed on the wheel or fell back to the heap (see
+/// [`Scheduler::schedule_batched_after_cancellable`]); the handle remembers
+/// which, so [`Scheduler::cancel_timer`] revokes it either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerHandle {
+    /// The timer lives in the event heap.
+    Heap(EventHandle),
+    /// The timer lives on the batched wheel.
+    Wheel(WheelHandle),
+}
 
 /// Read-only access to the current simulation time.
 pub trait Clock {
@@ -178,9 +190,40 @@ impl<E> Scheduler<E> {
             .push_cancellable_with_seq(self.now + delay, seq, event)
     }
 
+    /// Like [`Scheduler::schedule_batched_after`], returning a handle that
+    /// revokes the deadline in O(1) — the lease pattern: re-arming a timer
+    /// cancels the superseded deadline instead of letting it fire and be
+    /// filtered by the consumer. The entry rides the wheel when it accepts
+    /// the deadline and falls back to the heap otherwise; fire order is
+    /// identical either way.
+    pub fn schedule_batched_after_cancellable(
+        &mut self,
+        delay: SimDuration,
+        event: E,
+    ) -> TimerHandle {
+        let time = self.now + delay;
+        let seq = self.next_seq();
+        match &mut self.wheel {
+            Some(wheel) if wheel.accepts(time) => {
+                TimerHandle::Wheel(wheel.push_cancellable(time, seq, event))
+            }
+            _ => TimerHandle::Heap(self.queue.push_cancellable_with_seq(time, seq, event)),
+        }
+    }
+
     /// Cancels a previously scheduled event.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         self.queue.cancel(handle)
+    }
+
+    /// Cancels a batched timer scheduled with
+    /// [`Scheduler::schedule_batched_after_cancellable`]. Cancelling an
+    /// already-fired or already-cancelled timer is a no-op returning `false`.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        match handle {
+            TimerHandle::Heap(h) => self.queue.cancel(h),
+            TimerHandle::Wheel(h) => self.wheel.as_mut().is_some_and(|w| w.cancel(h)),
+        }
     }
 
     /// The `(time, seq)` key of the next pending event across queue and
@@ -231,6 +274,19 @@ impl<E> Scheduler<E> {
         self.now = time;
         self.processed += 1;
         Some((time, event))
+    }
+
+    /// An advisory preview of events likely to pop soon, drawn from the
+    /// heap's array prefix and the wheel's activated slot (see
+    /// [`EventQueue::peek_upcoming`] and [`TimerWheel::peek_upcoming`]).
+    /// No ordering guarantee — intended for cache-warming the state the
+    /// next few events will touch.
+    pub fn peek_upcoming(&self, k: usize) -> impl Iterator<Item = &E> {
+        self.queue.peek_upcoming(k).chain(
+            self.wheel
+                .iter()
+                .flat_map(move |wheel| wheel.peek_upcoming(k)),
+        )
     }
 
     /// Advances the clock to `time` without processing events.
@@ -382,6 +438,38 @@ mod tests {
         assert_eq!(s.pending_events(), 2);
         assert_eq!(s.next_event().unwrap().1, 1);
         assert_eq!(s.next_event().unwrap().1, 2);
+    }
+
+    #[test]
+    fn batched_cancellable_timers_cancel_on_wheel_and_heap() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_batching(SimDuration::from_secs(1.0));
+        // Near deadline lands on the wheel, far deadline falls back to heap.
+        let near = s.schedule_batched_after_cancellable(SimDuration::from_secs(1.0), 1);
+        let far = s.schedule_batched_after_cancellable(SimDuration::from_secs(100_000.0), 2);
+        assert!(matches!(near, TimerHandle::Wheel(_)));
+        assert!(matches!(far, TimerHandle::Heap(_)));
+        s.schedule_after(SimDuration::from_secs(2.0), 3);
+        assert!(s.cancel_timer(near));
+        assert!(s.cancel_timer(far));
+        assert!(!s.cancel_timer(near), "double cancel is a no-op");
+        assert_eq!(s.next_event().unwrap().1, 3);
+        assert!(s.next_event().is_none());
+    }
+
+    #[test]
+    fn renewed_lease_fires_once_at_the_latest_deadline() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.enable_batching(SimDuration::from_secs(1.0));
+        let mut lease = s.schedule_batched_after_cancellable(SimDuration::from_secs(3.0), "lease");
+        for _ in 0..3 {
+            assert!(s.cancel_timer(lease));
+            lease = s.schedule_batched_after_cancellable(SimDuration::from_secs(4.0), "lease");
+        }
+        let (time, event) = s.next_event().unwrap();
+        assert_eq!(event, "lease");
+        assert_eq!(time, SimTime::from_secs(4.0));
+        assert!(s.next_event().is_none());
     }
 
     #[test]

@@ -1,11 +1,18 @@
-//! A bucketed timer wheel for high-volume periodic events (beacons).
+//! A bucketed deadline wheel for high-volume timers (beacons, per-node
+//! maintenance deadlines, neighbour leases).
 //!
-//! A fleet of N beaconing nodes costs the binary-heap scheduler `O(log Q)`
-//! per beacon with `Q ≈ N` pending timers. [`TimerWheel`] instead hashes
-//! timers into slots one beacon interval wide: scheduling is an `O(1)` push
+//! A fleet of N periodically-firing nodes costs the binary-heap scheduler
+//! `O(log Q)` per timer with `Q ≈ N` pending entries. [`TimerWheel`] instead
+//! hashes timers into slots one period wide: scheduling is an `O(1)` push
 //! into the slot's vector, and a slot is sorted once when the clock reaches
 //! it. The wheel also keeps those N long-lived timers *out* of the main heap,
 //! which shrinks every remaining heap operation.
+//!
+//! Originally the wheel only batched beacons; it is now a general deadline
+//! wheel: any event type can ride it, and [`TimerWheel::push_cancellable`]
+//! returns a [`WheelHandle`] that revokes a pending deadline in O(1)
+//! (tombstone flag, reaped when the entry surfaces) — the primitive lease-
+//! style timers need when a deadline is superseded before it fires.
 //!
 //! Determinism: every entry carries the scheduler-wide `(time, seq)` key, the
 //! same key the event heap orders by. [`TimerWheel::peek`] always exposes the
@@ -15,9 +22,29 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::num::NonZeroU32;
 
-/// One wheel entry: the `(time, seq)` ordering key plus the payload.
-type Entry<E> = (SimTime, u64, E);
+/// One wheel entry: the `(time, seq)` ordering key, the payload, and the
+/// index of its cancellation flag (if cancellable).
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+    /// Cancellation flag index plus one; niche-packed to 4 bytes because a
+    /// fleet's worth of entries lands in every slot.
+    handle: Option<NonZeroU32>,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// A handle that can be used to cancel a deadline scheduled on the wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WheelHandle(usize);
 
 /// A timer wheel whose slots are `slot` wide, merged against the event heap
 /// by `(time, seq)` key.
@@ -31,6 +58,10 @@ pub struct TimerWheel<E> {
     /// The activated slot, sorted *descending* by key so the next entry to
     /// fire pops off the back in O(1).
     current: Vec<Entry<E>>,
+    /// Cancellation flags, indexed by [`WheelHandle`]. A flag flips to `true`
+    /// on cancel (or once its entry fires, making later cancels no-ops).
+    cancelled: Vec<bool>,
+    /// Live (non-cancelled) entries.
     len: usize,
 }
 
@@ -52,6 +83,7 @@ impl<E> TimerWheel<E> {
             base: 0,
             slots: VecDeque::new(),
             current: Vec::new(),
+            cancelled: Vec::new(),
             len: 0,
         }
     }
@@ -73,7 +105,7 @@ impl<E> TimerWheel<E> {
         self.slot_index(time) - self.base < Self::MAX_SLOTS_AHEAD
     }
 
-    /// Number of pending entries.
+    /// Number of pending (non-cancelled) entries.
     #[must_use]
     pub fn len(&self) -> usize {
         self.len
@@ -85,34 +117,92 @@ impl<E> TimerWheel<E> {
         self.len == 0
     }
 
-    /// Schedules `event` at `time` with ordering key `(time, seq)`.
-    pub fn push(&mut self, time: SimTime, seq: u64, event: E) {
+    fn insert(&mut self, entry: Entry<E>) {
         self.len += 1;
-        let idx = self.slot_index(time);
+        let idx = self.slot_index(entry.time);
         if idx < self.base {
             // The slot is already activated (or the wheel has advanced past
             // it): splice into the sorted remainder so ordering holds.
-            let key = (time, seq);
-            let pos = self.current.partition_point(|&(t, s, _)| (t, s) > key);
-            self.current.insert(pos, (time, seq, event));
+            let key = entry.key();
+            let pos = self.current.partition_point(|e| e.key() > key);
+            self.current.insert(pos, entry);
             return;
         }
         let offset = usize::try_from(idx - self.base).expect("slot offset fits usize");
         if offset >= self.slots.len() {
             self.slots.resize_with(offset + 1, Vec::new);
         }
-        self.slots[offset].push((time, seq, event));
+        self.slots[offset].push(entry);
     }
 
-    /// Activates slots until `current` is non-empty or the wheel is drained.
+    /// Schedules `event` at `time` with ordering key `(time, seq)`.
+    pub fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        self.insert(Entry {
+            time,
+            seq,
+            event,
+            handle: None,
+        });
+    }
+
+    /// Schedules `event` at `time` and returns a handle that can later be
+    /// passed to [`TimerWheel::cancel`].
+    ///
+    /// Each cancellable push allocates one flag slot for the wheel's
+    /// lifetime (the same bookkeeping [`EventQueue`](crate::EventQueue)
+    /// uses), so this suits timers that are cancelled occasionally — a
+    /// workload that re-arms per entry at high frequency should prefer a
+    /// supersede-on-fire scheme over per-renewal cancellation.
+    pub fn push_cancellable(&mut self, time: SimTime, seq: u64, event: E) -> WheelHandle {
+        let handle = self.cancelled.len();
+        self.cancelled.push(false);
+        let tag = u32::try_from(handle + 1).expect("more than u32::MAX cancellable deadlines");
+        self.insert(Entry {
+            time,
+            seq,
+            event,
+            handle: NonZeroU32::new(tag),
+        });
+        WheelHandle(handle)
+    }
+
+    /// Cancels a pending deadline in O(1). Cancelling an already-fired or
+    /// already-cancelled deadline is a no-op and returns `false`. The
+    /// tombstoned entry is reaped when its slot surfaces.
+    pub fn cancel(&mut self, handle: WheelHandle) -> bool {
+        match self.cancelled.get_mut(handle.0) {
+            Some(flag) if !*flag => {
+                *flag = true;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn is_cancelled(&self, entry: &Entry<E>) -> bool {
+        entry
+            .handle
+            .is_some_and(|tag| self.cancelled[tag.get() as usize - 1])
+    }
+
+    /// Drops cancelled entries off the back of `current`, then activates
+    /// slots until `current` ends in a live entry or the wheel is drained.
     fn advance(&mut self) {
-        while self.current.is_empty() {
+        loop {
+            while let Some(tail) = self.current.last() {
+                if self.is_cancelled(tail) {
+                    self.current.pop();
+                } else {
+                    return;
+                }
+            }
             let Some(mut slot) = self.slots.pop_front() else {
                 return;
             };
             self.base += 1;
             if !slot.is_empty() {
-                slot.sort_unstable_by_key(|&(t, s, _)| std::cmp::Reverse((t, s)));
+                slot.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
                 self.current = slot;
             }
         }
@@ -122,21 +212,37 @@ impl<E> TimerWheel<E> {
     #[must_use]
     pub fn peek(&mut self) -> Option<(SimTime, u64)> {
         self.advance();
-        self.current.last().map(|&(t, s, _)| (t, s))
+        self.current.last().map(Entry::key)
     }
 
     /// Removes and returns the earliest pending entry.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.advance();
-        let (time, _, event) = self.current.pop()?;
+        let entry = self.current.pop()?;
+        if let Some(tag) = entry.handle {
+            // Mark fired so a later cancel() is a no-op.
+            self.cancelled[tag.get() as usize - 1] = true;
+        }
         self.len -= 1;
-        Some((time, event))
+        Some((entry.time, entry.event))
     }
 
-    /// Drops all pending entries.
+    /// The next `k` entries of the activated slot, soonest first (exact for
+    /// the current slot; later slots are not previewed). Advisory, for
+    /// cache-warming passes over upcoming events.
+    pub fn peek_upcoming(&self, k: usize) -> impl Iterator<Item = &E> {
+        self.current.iter().rev().take(k).map(|entry| &entry.event)
+    }
+
+    /// Drops all pending entries. Handles issued before the clear become
+    /// permanently dead (their flags are tombstoned, not recycled, so they
+    /// can never alias an entry pushed afterwards).
     pub fn clear(&mut self) {
         self.slots.clear();
         self.current.clear();
+        for flag in &mut self.cancelled {
+            *flag = true;
+        }
         self.len = 0;
     }
 }
@@ -187,11 +293,60 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_revokes_a_pending_deadline() {
+        let mut w = TimerWheel::new(SimDuration::from_secs(1.0));
+        let h = w.push_cancellable(t(1.0), 0, "lease");
+        w.push(t(2.0), 1, "keep");
+        assert_eq!(w.len(), 2);
+        assert!(w.cancel(h));
+        assert!(!w.cancel(h), "double cancel is a no-op");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop().unwrap().1, "keep");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut w = TimerWheel::new(SimDuration::from_secs(1.0));
+        let h = w.push_cancellable(t(0.5), 0, "x");
+        assert_eq!(w.pop().unwrap().1, "x");
+        assert!(!w.cancel(h));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_entries() {
+        let mut w = TimerWheel::new(SimDuration::from_secs(1.0));
+        let h = w.push_cancellable(t(0.5), 0, "dead");
+        w.push(t(1.5), 1, "live");
+        w.cancel(h);
+        assert_eq!(w.peek(), Some((t(1.5), 1)));
+        assert_eq!(w.pop().unwrap().1, "live");
+    }
+
+    #[test]
+    fn lease_renewal_pattern_fires_only_the_latest_deadline() {
+        // The neighbour-lease shape: each renewal cancels the previous
+        // deadline and schedules a later one.
+        let mut w = TimerWheel::new(SimDuration::from_secs(1.0));
+        let mut handle = w.push_cancellable(t(3.0), 0, 3u32);
+        for (seq, deadline) in [(1u64, 4.0), (2, 5.0), (3, 6.0)] {
+            assert!(w.cancel(handle));
+            handle = w.push_cancellable(t(deadline), seq, deadline as u32);
+        }
+        assert_eq!(w.len(), 1);
+        let fired: Vec<u32> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        assert_eq!(fired, vec![6]);
+    }
+
+    #[test]
     fn clear_empties_wheel() {
         let mut w = TimerWheel::new(SimDuration::from_secs(1.0));
         w.push(t(1.0), 0, 1);
+        let h = w.push_cancellable(t(2.0), 1, 2);
         w.clear();
         assert!(w.is_empty());
         assert!(w.pop().is_none());
+        assert!(!w.cancel(h), "handles from before clear are dead");
     }
 }

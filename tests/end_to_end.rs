@@ -11,6 +11,14 @@ fn dense_highway(seed: u64) -> Scenario {
         .with_duration(SimDuration::from_secs(25.0))
 }
 
+/// Seed-sensitivity note: the delivery thresholds below are deliberately
+/// loose. On-demand protocols (AODV and its policy variants) are fragile on
+/// dense highways — a single unlucky seed triggers heavy RERR churn and can
+/// halve the delivery ratio. Neighbour losses are detected at tick
+/// boundaries (lazily, via per-table expiry deadlines — the detection times
+/// are identical to the historical eager per-tick sweep, as pinned by the
+/// golden-report tests), so the thresholds encode "delivers a meaningful
+/// share", not a precise expectation.
 fn assert_delivers(kind: ProtocolKind, scenario: Scenario, min_ratio: f64) -> Report {
     let report = run_scenario(scenario, kind);
     assert!(report.data_sent > 0, "{kind}: no traffic generated");
