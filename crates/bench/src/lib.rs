@@ -27,7 +27,7 @@ use vanet_links::direction::{same_direction, DirectionGroup};
 use vanet_links::lifetime::{link_lifetime_constant_acceleration, link_lifetime_constant_speed};
 use vanet_links::probability::expected_link_duration;
 use vanet_mobility::Vec2;
-use vanet_runner::{CampaignResults, CampaignSpec, Runner};
+use vanet_runner::{CampaignPlan, CampaignResults, CampaignSpec, ReplicationPolicy, Runner};
 use vanet_sim::SimDuration;
 
 /// How much work an experiment generator should do.
@@ -196,30 +196,30 @@ pub fn fig5_rsu(effort: Effort) -> Vec<(String, Report)> {
         Effort::Quick => &[4],
         Effort::Full => &[2, 4, 8],
     };
-    // AODV without infrastructure and DRR with increasing RSU counts are two
-    // single-protocol campaigns sharing one runner.
-    let runner = Runner::new();
-    let aodv = runner.run(
-        &CampaignSpec::new("fig5-aodv")
-            .scenario("AODV / 0 RSUs", base.clone().with_name("fig5-aodv"))
-            .protocols([ProtocolKind::Aodv])
-            .replications(effort.seeds()),
+    // AODV without infrastructure and DRR with increasing RSU counts bind
+    // different protocols to different scenarios — per-cell bindings make
+    // that one CampaignPlan instead of the two specs it used to take.
+    let replication = ReplicationPolicy::Fixed(effort.seeds());
+    let mut plan = CampaignPlan::new("fig5").cell_with(
+        "AODV / 0 RSUs",
+        base.clone().with_name("fig5-aodv"),
+        ProtocolKind::Aodv,
+        replication.clone(),
     );
-    let mut drr_spec = CampaignSpec::new("fig5-drr")
-        .protocols([ProtocolKind::Drr])
-        .replications(effort.seeds());
     for &rsus in rsu_counts {
-        drr_spec = drr_spec.scenario(
+        plan = plan.cell_with(
             format!("DRR / {rsus} RSUs"),
             base.clone()
                 .with_rsus(rsus)
                 .with_name(format!("fig5-drr-{rsus}")),
+            ProtocolKind::Drr,
+            replication.clone(),
         );
     }
-    let drr = runner.run(&drr_spec);
-    aodv.cells
+    Runner::new()
+        .run_plan(&plan)
+        .cells
         .iter()
-        .chain(drr.cells.iter())
         .map(|cell| (cell.label.clone(), cell.mean_report()))
         .collect()
 }

@@ -1,14 +1,18 @@
 //! Experiment harness: parameter sweeps, multi-seed averaging and table
 //! rendering used to regenerate the paper's figures and Table I.
 //!
-//! The sweeps here parallelise across (scenario × protocol × seed) jobs with
-//! the deterministic worker pool from `vanet_sim::pool`: every job's seed is
-//! fixed up front and results are reduced in job order, so the output is
-//! byte-identical no matter how many workers run it. Richer per-cell
-//! statistics (std-dev, min/max, confidence intervals) live in the
-//! `vanet-runner` crate, which builds on the same primitives.
+//! Since the `CampaignPlan` redesign this module is a thin shim: the sweeps
+//! build a [`CampaignPlan`] cross product and execute its expanded job list
+//! on the deterministic worker pool from `vanet_sim::pool`, so the cell
+//! numbering and `base seed + replicate` seeding conventions are defined in
+//! exactly one place (`crate::plan`) and shared with the full `vanet-runner`
+//! engine. Every job's seed is fixed at expansion time and results are
+//! reduced in job order, so the output is byte-identical no matter how many
+//! workers run it. Richer per-cell statistics (std-dev, min/max, confidence
+//! intervals), journals and adaptive replication live in `vanet-runner`.
 
 use crate::metrics::Report;
+use crate::plan::CampaignPlan;
 use crate::scenario::Scenario;
 use crate::simulation::run_scenario;
 use crate::taxonomy::ProtocolKind;
@@ -63,10 +67,11 @@ pub fn average_reports(reports: &[Report]) -> Option<Report> {
 /// `scenario.seed..scenario.seed + seeds`), in parallel, and averages.
 #[must_use]
 pub fn run_averaged(scenario: &Scenario, protocol: ProtocolKind, seeds: usize) -> Report {
+    let plan = CampaignPlan::new("run-averaged").cell("cell", scenario.clone(), protocol);
     let seeds = seeds.max(1);
     let reports = parallel_map_indexed(seeds, available_workers(), |s| {
-        let sc = scenario.clone().with_seed(scenario.seed + s as u64);
-        run_scenario(sc, protocol)
+        let job = plan.job(0, s);
+        run_scenario(job.scenario, job.protocol)
     });
     average_reports(&reports).expect("at least one replication ran")
 }
@@ -94,22 +99,18 @@ pub fn run_matrix_with_workers(
     workers: usize,
 ) -> Vec<ExperimentCell> {
     let seeds = seeds.max(1);
-    let cells: Vec<(&String, &Scenario, ProtocolKind)> = scenarios
-        .iter()
-        .flat_map(|(label, scenario)| protocols.iter().map(move |&p| (label, scenario, p)))
-        .collect();
-    let reports = parallel_map_indexed(cells.len() * seeds, workers, |job| {
-        let (_, scenario, protocol) = cells[job / seeds];
-        let replicate = (job % seeds) as u64;
-        let sc = scenario.clone().with_seed(scenario.seed + replicate);
-        run_scenario(sc, protocol)
+    let plan = CampaignPlan::cross_product("run-matrix", scenarios, protocols, seeds);
+    let jobs = plan.initial_jobs();
+    let reports = parallel_map_indexed(jobs.len(), workers, |i| {
+        let job = &jobs[i];
+        run_scenario(job.scenario.clone(), job.protocol)
     });
-    cells
+    plan.cells
         .iter()
         .zip(reports.chunks(seeds))
-        .map(|(&(label, _, protocol), cell_reports)| ExperimentCell {
-            protocol,
-            label: label.clone(),
+        .map(|(cell, cell_reports)| ExperimentCell {
+            protocol: cell.protocol,
+            label: cell.label.clone(),
             report: average_reports(cell_reports).expect("seeds >= 1"),
             seeds,
         })

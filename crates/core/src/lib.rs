@@ -24,6 +24,7 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod plan;
 pub mod scenario;
 pub mod simulation;
 pub mod taxonomy;
@@ -33,6 +34,7 @@ pub use experiment::{
     ExperimentCell,
 };
 pub use metrics::{Metrics, Report};
+pub use plan::{CampaignPlan, PlanCell, PlanJob, ReplicationPolicy};
 pub use scenario::{ChannelModel, RoadLayout, Scenario, TrafficRegime};
 pub use simulation::{run_scenario, Flow, Simulation};
 pub use taxonomy::{taxonomy_lines, ProtocolKind};

@@ -253,6 +253,23 @@ impl Scenario {
         self
     }
 
+    /// A stable 64-bit content hash of the complete configuration (seed
+    /// included): two scenarios hash equal exactly when every field —
+    /// layout builder parameters, radio, MAC, traffic, durations — is equal.
+    ///
+    /// The hash is computed over the canonical `Debug` rendering with the
+    /// pinned FNV-1a algorithm from `vanet_sim::hash`, so it is identical
+    /// across runs, platforms and worker counts. The campaign journal uses
+    /// it as the scenario half of its cache keys, which means any edit to a
+    /// scenario automatically invalidates that scenario's cached results.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut hasher = vanet_sim::StableHasher::new();
+        hasher.write_str("scenario/v1");
+        hasher.write_str(&format!("{self:?}"));
+        hasher.finish()
+    }
+
     /// Number of vehicles in the configured layout.
     #[must_use]
     pub fn vehicle_count(&self) -> usize {
@@ -321,6 +338,28 @@ mod tests {
         let mut rng = SimRng::new(1);
         let m = s.build_mobility(&mut rng);
         assert_eq!(m.states().len(), 25);
+    }
+
+    #[test]
+    fn content_hash_tracks_every_field() {
+        let base = Scenario::highway(40);
+        assert_eq!(base.content_hash(), Scenario::highway(40).content_hash());
+        for edited in [
+            base.clone().with_seed(2),
+            base.clone().with_rsus(1),
+            base.clone().with_flows(9),
+            base.clone().with_radio_range(100.0),
+            base.clone().with_name("other"),
+            base.clone().with_buses(1),
+            base.clone()
+                .with_duration(vanet_sim::SimDuration::from_secs(1.0)),
+        ] {
+            assert_ne!(
+                base.content_hash(),
+                edited.content_hash(),
+                "edit not reflected in content hash: {edited:?}"
+            );
+        }
     }
 
     #[test]

@@ -131,6 +131,17 @@ impl ProtocolKind {
         }
     }
 
+    /// A stable 64-bit content hash of the protocol identity, used as the
+    /// protocol half of campaign-journal cache keys. Pinned FNV-1a over the
+    /// display name, so it never varies across runs or platforms.
+    #[must_use]
+    pub fn content_hash(self) -> u64 {
+        let mut hasher = vanet_sim::StableHasher::new();
+        hasher.write_str("protocol/v1");
+        hasher.write_str(self.name());
+        hasher.finish()
+    }
+
     /// All protocols belonging to `category`.
     #[must_use]
     pub fn in_category(category: Category) -> Vec<ProtocolKind> {
@@ -208,6 +219,22 @@ mod tests {
         for kind in ProtocolKind::ALL {
             assert!(joined.contains(kind.name()), "{} missing", kind.name());
         }
+    }
+
+    #[test]
+    fn content_hashes_are_distinct_per_protocol() {
+        let mut hashes: Vec<u64> = ProtocolKind::ALL
+            .into_iter()
+            .map(ProtocolKind::content_hash)
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), ProtocolKind::ALL.len());
+        // Stable across calls (and, by construction, across runs).
+        assert_eq!(
+            ProtocolKind::Aodv.content_hash(),
+            ProtocolKind::Aodv.content_hash()
+        );
     }
 
     #[test]

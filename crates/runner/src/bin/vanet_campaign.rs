@@ -14,6 +14,16 @@
 //!   --protocols P1,P2,..  protocols for a parameterised campaign
 //!                         (default: the five Table-I representatives)
 //!   --seeds N             replications per cell (default 3)
+//!   --resume DIR          journal completed jobs in DIR/journal.jsonl and
+//!                         skip jobs already recorded there (resumable,
+//!                         cached campaigns)
+//!   --ci-target W         adaptive replication: keep adding seeds per cell
+//!                         until the 95% CI half-width of --ci-metric is <= W
+//!                         (min replications = --seeds, cap = --ci-max)
+//!   --ci-metric NAME      metric watched by --ci-target
+//!                         (default delivery_ratio)
+//!   --ci-max N            replication cap per cell for --ci-target
+//!                         (default 32)
 //!   --workers N           worker threads (default: available cores)
 //!   --format F            table | csv | jsonl        (default table)
 //!   --out FILE            write results to FILE instead of stdout
@@ -26,7 +36,7 @@ use vanet_core::ProtocolKind;
 use vanet_runner::{
     campaign_by_name, gate_events_per_sec, parse_scenario, protocol_by_name, render_bench_json,
     render_csv, render_fleet_bench_json, render_jsonl, render_table, run_fleet_bench,
-    run_hotpath_bench, CampaignSpec, Runner, CATALOG,
+    run_hotpath_bench, CampaignPlan, CampaignSpec, ReplicationPolicy, Runner, CATALOG,
 };
 use vanet_sim::pool::available_workers;
 
@@ -42,6 +52,10 @@ struct Args {
     scenarios: Vec<String>,
     protocols: Vec<String>,
     seeds: Option<usize>,
+    resume: Option<String>,
+    ci_target: Option<f64>,
+    ci_metric: String,
+    ci_max: usize,
     workers: Option<usize>,
     format: Format,
     out: Option<String>,
@@ -62,7 +76,8 @@ struct Args {
 fn usage() -> String {
     let mut text = String::from(
         "usage: vanet-campaign [NAME] [--scenarios S1,S2] [--protocols P1,P2] \
-         [--seeds N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
+         [--seeds N] [--resume DIR] [--ci-target W] [--ci-metric NAME] \
+         [--ci-max N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
          [--shard I/N] [--full] [--quiet] [--list]\n       \
          vanet-campaign --bench [--bench-vehicles N] [--bench-duration S] \
          [--bench-label baseline|current] [--out FILE] \
@@ -86,6 +101,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         scenarios: Vec::new(),
         protocols: Vec::new(),
         seeds: None,
+        resume: None,
+        ci_target: None,
+        ci_metric: "delivery_ratio".to_owned(),
+        ci_max: 32,
         workers: None,
         format: Format::Table,
         out: None,
@@ -144,6 +163,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "jsonl" => Format::Jsonl,
                     other => return Err(format!("unknown format {other:?}")),
                 };
+            }
+            "--resume" => args.resume = Some(value("--resume")?.clone()),
+            "--ci-target" => {
+                let width: f64 = value("--ci-target")?
+                    .parse()
+                    .map_err(|_| "--ci-target needs a number (CI half-width)".to_owned())?;
+                if !width.is_finite() || width <= 0.0 {
+                    return Err("--ci-target must be a positive number".to_owned());
+                }
+                args.ci_target = Some(width);
+            }
+            "--ci-metric" => args.ci_metric = value("--ci-metric")?.clone(),
+            "--ci-max" => {
+                let max: usize = value("--ci-max")?
+                    .parse()
+                    .map_err(|_| "--ci-max needs an integer".to_owned())?;
+                if max == 0 {
+                    return Err("--ci-max must be at least 1".to_owned());
+                }
+                args.ci_max = max;
             }
             "--out" => args.out = Some(value("--out")?.clone()),
             "--shard" => {
@@ -209,13 +248,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
-    if !args.scenarios.is_empty() {
+fn build_plan(args: &Args) -> Result<CampaignPlan, String> {
+    let spec = if !args.scenarios.is_empty() {
         let mut spec = CampaignSpec::new(args.name.clone().unwrap_or_else(|| "custom".to_owned()))
             .replications(args.seeds.unwrap_or(3));
         for label in &args.scenarios {
-            let scenario = parse_scenario(label)
-                .ok_or_else(|| format!("unknown scenario specifier {label:?}"))?;
+            let scenario = parse_scenario(label).map_err(|error| error.to_string())?;
             spec = spec.scenario(label.clone(), scenario);
         }
         let protocols = if args.protocols.is_empty() {
@@ -228,7 +266,7 @@ fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
                 })
                 .collect::<Result<Vec<_>, _>>()?
         };
-        Ok(spec.protocols(protocols))
+        spec.protocols(protocols)
     } else {
         let name = args.name.as_deref().unwrap_or("quick");
         let mut spec = campaign_by_name(name, args.full)
@@ -236,8 +274,25 @@ fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
         if let Some(seeds) = args.seeds {
             spec = spec.replications(seeds);
         }
-        Ok(spec)
+        spec
+    };
+    let mut plan = spec.to_plan();
+    if let Some(target_width) = args.ci_target {
+        let min = args.seeds.unwrap_or(3);
+        if args.ci_max < min {
+            return Err(format!(
+                "--ci-max {} is below the minimum replication count {min} (--seeds)",
+                args.ci_max
+            ));
+        }
+        plan = plan.with_replication(ReplicationPolicy::confidence_width(
+            args.ci_metric.clone(),
+            target_width,
+            min,
+            args.ci_max,
+        ));
     }
+    Ok(plan)
 }
 
 fn bench_protocol(args: &Args) -> Result<ProtocolKind, String> {
@@ -404,13 +459,27 @@ fn main() -> ExitCode {
     if args.bench_fleet {
         return run_bench_fleet(&args);
     }
-    let spec = match build_spec(&args) {
-        Ok(spec) => spec,
+    let plan = match build_plan(&args) {
+        Ok(plan) => plan,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(metric) = plan.cells.iter().find_map(|cell| match &cell.replication {
+        ReplicationPolicy::ConfidenceWidth { metric, .. }
+            if vanet_runner::Summary::default().metric(metric).is_none() =>
+        {
+            Some(metric.clone())
+        }
+        _ => None,
+    }) {
+        eprintln!(
+            "unknown --ci-metric {metric:?} (expected one of: {})",
+            vanet_runner::METRIC_NAMES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
 
     let mut runner = Runner::new().with_progress(!args.quiet);
     if let Some(workers) = args.workers {
@@ -419,7 +488,18 @@ fn main() -> ExitCode {
     if let Some((index, count)) = args.shard {
         runner = runner.with_shard(index, count);
     }
-    let results = runner.run(&spec);
+    if let Some(dir) = &args.resume {
+        runner = runner.with_journal(dir);
+    }
+    let results = runner.run_plan(&plan);
+    if args.resume.is_some() {
+        // Printed even under --quiet: resume/caching behaviour is the one
+        // thing scripts (and the CI smoke) need to observe.
+        eprintln!(
+            "[vanet-campaign] {} jobs executed, {} cached",
+            results.executed_jobs, results.cached_jobs
+        );
+    }
 
     let rendered = match args.format {
         Format::Table => render_table(&results),

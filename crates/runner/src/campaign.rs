@@ -1,4 +1,5 @@
-//! Campaign specification: the (scenario grid × protocols × seeds) cube.
+//! Legacy campaign specification: the (scenario grid × protocols × seeds)
+//! cube, superseded by [`CampaignPlan`].
 //!
 //! A [`CampaignSpec`] names a set of labelled scenarios, a set of protocols
 //! and a replication count, and expands into a flat list of independent
@@ -7,10 +8,19 @@
 //! `vanet_core::run_averaged`), which is what makes parallel execution
 //! trivially deterministic: a job's result depends only on the job, never on
 //! which worker runs it or when.
+//!
+//! **Deprecated in favour of [`CampaignPlan`]**: a spec can only apply every
+//! protocol to every scenario uniformly with a fixed replication count. It is
+//! kept as a convenience wrapper for exactly that shape — the engine converts
+//! it via [`CampaignSpec::to_plan`] (which preserves cell numbering, seeding
+//! and therefore byte-identical results) and all new capabilities (per-cell
+//! protocol bindings, adaptive replication, journals) exist only on the plan
+//! side.
 
-use vanet_core::{ProtocolKind, Scenario};
+use vanet_core::{CampaignPlan, ProtocolKind, Scenario};
 
-/// A declarative description of one experiment campaign.
+/// A declarative description of one uniform cross-product campaign.
+/// Superseded by [`CampaignPlan`]; see the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign name (used in exports and progress output).
@@ -88,6 +98,19 @@ impl CampaignSpec {
         let per_scenario = self.protocols.len();
         let (label, scenario) = &self.scenarios[index / per_scenario];
         (label, scenario, self.protocols[index % per_scenario])
+    }
+
+    /// Converts the spec to the equivalent [`CampaignPlan`]: one `Fixed`
+    /// cell per (scenario, protocol) pair in the same scenario-major order,
+    /// so plan execution reproduces spec execution byte-identically.
+    #[must_use]
+    pub fn to_plan(&self) -> CampaignPlan {
+        CampaignPlan::cross_product(
+            self.name.clone(),
+            &self.scenarios,
+            &self.protocols,
+            self.replications.max(1),
+        )
     }
 
     /// Expands the campaign into its flat, cell-major job list.
@@ -176,11 +199,42 @@ mod tests {
 
     #[test]
     fn protocol_names_round_trip() {
+        // Exhaustive: every catalogued kind must round-trip through both its
+        // display name and its enum identifier, case-insensitively — a new
+        // protocol that forgets a name mapping fails here.
         for kind in ProtocolKind::ALL {
             assert_eq!(protocol_by_name(kind.name()), Some(kind), "{kind:?}");
+            assert_eq!(
+                protocol_by_name(&kind.name().to_lowercase()),
+                Some(kind),
+                "{kind:?} (lowercase display name)"
+            );
+            let identifier = format!("{kind:?}");
+            assert_eq!(
+                protocol_by_name(&identifier),
+                Some(kind),
+                "{kind:?} (enum identifier)"
+            );
         }
         assert_eq!(protocol_by_name("aodv"), Some(ProtocolKind::Aodv));
         assert_eq!(protocol_by_name("YanTbpss"), Some(ProtocolKind::YanTbpss));
         assert_eq!(protocol_by_name("nope"), None);
+    }
+
+    #[test]
+    fn spec_converts_to_equivalent_plan() {
+        let spec = spec();
+        let plan = spec.to_plan();
+        assert_eq!(plan.name, spec.name);
+        assert_eq!(plan.cells.len(), spec.cell_count());
+        assert_eq!(plan.initial_job_count(), spec.job_count());
+        // Same cell numbering, labels, protocols and job seeding.
+        let plan_jobs = plan.initial_jobs();
+        for (job, plan_job) in spec.jobs().iter().zip(&plan_jobs) {
+            assert_eq!(job.cell, plan_job.cell);
+            assert_eq!(job.replicate, plan_job.replicate);
+            assert_eq!(job.scenario, plan_job.scenario);
+            assert_eq!(job.protocol, plan_job.protocol);
+        }
     }
 }

@@ -146,10 +146,13 @@ pub fn campaign_by_name(name: &str, full: bool) -> Option<CampaignSpec> {
 }
 
 /// Parses a scenario specifier used by the CLI's `--scenarios` flag:
-/// `highway-<N>`, `urban-<N>`, or a traffic-regime name
-/// (`sparse`/`normal`/`congested`).
-#[must_use]
-pub fn parse_scenario(spec: &str) -> Option<Scenario> {
+/// `highway-<N>`, `urban-<N>`, `megacity-<N>`, or a traffic-regime name
+/// (`sparse`/`normal`/`congested`), with `:key=value` options.
+///
+/// # Errors
+///
+/// Returns a [`crate::ScenarioParseError`] naming the bad field.
+pub fn parse_scenario(spec: &str) -> Result<Scenario, crate::ScenarioParseError> {
     scenario_spec::parse(spec)
 }
 

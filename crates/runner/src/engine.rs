@@ -1,25 +1,37 @@
 //! The campaign execution engine.
 //!
-//! [`Runner`] expands a [`CampaignSpec`] into jobs, executes them on the
-//! work-stealing pool from `vanet_sim::pool`, and reduces each cell's
-//! replications into a [`Summary`]. Determinism contract: because every job
-//! is seeded at expansion time and results are reduced in job order, the
-//! produced [`CampaignResults`] are identical for any worker count — the
-//! `campaign_is_deterministic_across_worker_counts` integration test pins
-//! this down.
+//! [`Runner`] executes a [`CampaignPlan`] on the work-stealing pool from
+//! `vanet_sim::pool`, reducing each cell's replications into a [`Summary`].
+//! Execution proceeds in rounds: the plan's initial jobs first, then — for
+//! cells with a `ConfidenceWidth` replication policy — one extra seed per
+//! still-too-wide cell per round, until every cell's 95% CI is narrow enough
+//! or its cap is reached.
+//!
+//! Determinism contract: every job is seeded at expansion time
+//! (`CampaignPlan::job`), results are reduced in job order, and adaptive
+//! stopping decisions depend only on the (deterministic) reports, so the
+//! produced [`CampaignResults`] are identical for any worker count, with or
+//! without a journal, resumed or cold — the integration tests pin this down.
+//!
+//! With [`Runner::with_journal`], every completed job streams into a
+//! [`Journal`] keyed by its content hash; jobs already present are replayed
+//! from the cache instead of executed, which is both crash-resume and
+//! cell-level caching (see `crate::journal`).
 
 use crate::campaign::CampaignSpec;
+use crate::journal::{Journal, JournalEntry};
 use crate::summary::Summary;
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use vanet_core::{run_scenario, ProtocolKind, Report};
+use vanet_core::{run_scenario, CampaignPlan, PlanJob, ProtocolKind, ReplicationPolicy, Report};
 use vanet_sim::pool::{available_workers, parallel_map_with_progress};
 
-/// One aggregated (scenario × protocol) cell of a finished campaign.
+/// One aggregated cell of a finished campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellSummary {
-    /// The scenario label from the spec.
+    /// The cell label from the plan.
     pub label: String,
     /// The scenario's own name (e.g. "highway-40").
     pub scenario: String,
@@ -47,7 +59,12 @@ pub struct CampaignResults {
     pub workers: usize,
     /// Wall-clock execution time (not part of the determinism contract).
     pub elapsed: Duration,
-    /// One aggregated cell per (scenario × protocol) pair, in spec order.
+    /// Jobs actually executed this run (not part of the determinism
+    /// contract: resuming from a journal lowers it).
+    pub executed_jobs: usize,
+    /// Jobs replayed from the journal cache instead of executed.
+    pub cached_jobs: usize,
+    /// One aggregated cell per plan cell, in plan order.
     pub cells: Vec<CellSummary>,
 }
 
@@ -65,6 +82,7 @@ pub struct Runner {
     workers: usize,
     progress: bool,
     shard: Option<(usize, usize)>,
+    journal_dir: Option<PathBuf>,
 }
 
 impl Default for Runner {
@@ -81,24 +99,38 @@ impl Runner {
             workers: available_workers(),
             progress: false,
             shard: None,
+            journal_dir: None,
         }
     }
 
     /// Restricts the runner to shard `index` of `count`: only the cells with
-    /// `cell % count == index` are executed. Sharding partitions the expanded
-    /// job list deterministically, so `count` machines each running one shard
-    /// cover exactly the full campaign with disjoint cells.
+    /// `cell % count == index` are executed. Sharding partitions the plan's
+    /// cells deterministically, so `count` machines each running one shard
+    /// cover exactly the full campaign with disjoint cells. Composes with
+    /// [`Runner::with_journal`]: a resumed shard skips its own completed
+    /// jobs.
     ///
     /// # Panics
     ///
-    /// Panics if `index >= count` or `count == 0`.
+    /// Panics if `count == 0` or `index >= count` — an out-of-range shard
+    /// would otherwise silently run zero cells and export an empty campaign.
     #[must_use]
     pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be at least 1, got 0");
         assert!(
-            count > 0 && index < count,
-            "shard index {index} out of range for {count} shards"
+            index < count,
+            "shard index {index} out of range for {count} shards (need index < count)"
         );
         self.shard = Some((index, count));
+        self
+    }
+
+    /// Enables the resumable journal in `dir` (created if missing): completed
+    /// jobs stream into `dir/journal.jsonl` and jobs already recorded there
+    /// are replayed from the cache instead of executed.
+    #[must_use]
+    pub fn with_journal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
         self
     }
 
@@ -122,7 +154,8 @@ impl Runner {
         self.workers
     }
 
-    /// Runs every job of `spec` and aggregates per-cell summaries.
+    /// Runs a legacy cross-product [`CampaignSpec`] by converting it to a
+    /// [`CampaignPlan`] — results are byte-identical to the pre-plan engine.
     ///
     /// # Panics
     ///
@@ -134,91 +167,199 @@ impl Runner {
             "campaign '{}' has an empty scenario or protocol set",
             spec.name
         );
-        let jobs: Vec<_> = spec
-            .jobs()
-            .into_iter()
-            .filter(|job| match self.shard {
-                None => true,
-                Some((index, count)) => job.cell % count == index,
-            })
-            .collect();
-        let total = jobs.len();
+        self.run_plan(&spec.to_plan())
+    }
+
+    /// Runs every cell of `plan` and aggregates per-cell summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no cells, if a `ConfidenceWidth` policy names
+    /// an unknown metric, or if the journal directory cannot be opened or
+    /// written.
+    #[must_use]
+    pub fn run_plan(&self, plan: &CampaignPlan) -> CampaignResults {
+        assert!(
+            !plan.cells.is_empty(),
+            "campaign '{}' has no cells",
+            plan.name
+        );
+        let probe = Summary::default();
+        for cell in &plan.cells {
+            if let ReplicationPolicy::ConfidenceWidth { metric, .. } = &cell.replication {
+                assert!(
+                    probe.metric(metric).is_some(),
+                    "cell '{}' watches unknown metric {metric:?} (see vanet_runner::METRIC_NAMES)",
+                    cell.label
+                );
+            }
+        }
+        let journal = self.journal_dir.as_ref().map(|dir| {
+            Journal::open(dir)
+                .unwrap_or_else(|error| panic!("cannot open journal in {dir:?}: {error}"))
+        });
+
+        let in_shard = |cell: usize| match self.shard {
+            None => true,
+            Some((index, count)) => cell % count == index,
+        };
+        // Per-kept-cell report accumulators, in plan-cell order.
+        let kept: Vec<usize> = (0..plan.cells.len()).filter(|&c| in_shard(c)).collect();
+        let mut reports: Vec<Vec<Report>> = vec![Vec::new(); plan.cells.len()];
+
         if self.progress {
             let shard_note = match self.shard {
                 None => String::new(),
                 Some((index, count)) => format!(" (shard {index}/{count})"),
             };
+            let journal_note = match &journal {
+                None => String::new(),
+                Some(j) => format!(", journal cache: {} jobs", j.len()),
+            };
             eprintln!(
-                "[vanet-runner] campaign '{}': {} cells x {} replications = {} jobs on {} workers{}",
-                spec.name,
-                spec.cell_count(),
-                spec.replications.max(1),
-                total,
+                "[vanet-runner] campaign '{}': {} cells, {} initial jobs on {} workers{}{}",
+                plan.name,
+                kept.len(),
+                plan.initial_job_count(),
                 self.workers,
-                shard_note
+                shard_note,
+                journal_note
             );
         }
         let started = Instant::now();
         // stderr is locked per line so concurrent workers never interleave
         // within a progress line.
         let stderr = Mutex::new(std::io::stderr());
-        let reports = parallel_map_with_progress(
-            total,
-            self.workers,
-            |i| {
-                let job = &jobs[i];
-                run_scenario(job.scenario.clone(), job.protocol)
-            },
-            |i, done, n| {
-                if self.progress {
-                    let job = &jobs[i];
-                    let (label, _, _) = spec.cell(job.cell);
-                    let mut err = stderr.lock().expect("stderr lock poisoned");
-                    let _ = writeln!(
-                        err,
-                        "[vanet-runner] {done}/{n} {} on {} (seed {})",
-                        job.protocol, label, job.scenario.seed
-                    );
-                }
-            },
-        );
+        let mut executed = 0;
+        let mut cached = 0;
+
+        let mut round: Vec<PlanJob> = plan
+            .initial_jobs()
+            .into_iter()
+            .filter(|job| in_shard(job.cell))
+            .collect();
+        while !round.is_empty() {
+            // Resolve journal hits first; only the misses go to the pool.
+            let mut resolved: Vec<Option<Report>> = round
+                .iter()
+                .map(|job| journal.as_ref().and_then(|j| j.lookup(job.key()).cloned()))
+                .collect();
+            cached += resolved.iter().filter(|r| r.is_some()).count();
+            let to_run: Vec<usize> = (0..round.len())
+                .filter(|&i| resolved[i].is_none())
+                .collect();
+            executed += to_run.len();
+            let fresh = parallel_map_with_progress(
+                to_run.len(),
+                self.workers,
+                |i| {
+                    let job = &round[to_run[i]];
+                    let report = run_scenario(job.scenario.clone(), job.protocol);
+                    if let Some(j) = &journal {
+                        j.record(&JournalEntry {
+                            key: job.key(),
+                            campaign: plan.name.clone(),
+                            label: plan.cells[job.cell].label.clone(),
+                            seed: job.scenario.seed,
+                            report: report.clone(),
+                        })
+                        .unwrap_or_else(|error| {
+                            panic!("cannot append to journal {:?}: {error}", j.path())
+                        });
+                    }
+                    report
+                },
+                |i, done, n| {
+                    if self.progress {
+                        let job = &round[to_run[i]];
+                        let mut err = stderr.lock().expect("stderr lock poisoned");
+                        let _ = writeln!(
+                            err,
+                            "[vanet-runner] {done}/{n} {} on {} (seed {})",
+                            job.protocol, plan.cells[job.cell].label, job.scenario.seed
+                        );
+                    }
+                },
+            );
+            for (slot, report) in to_run.into_iter().zip(fresh) {
+                resolved[slot] = Some(report);
+            }
+            // Jobs are cell-major within a round, so pushing in round order
+            // keeps every cell's reports in replicate order.
+            for (job, report) in round.iter().zip(resolved) {
+                reports[job.cell].push(report.expect("every round job resolved"));
+            }
+            round = next_adaptive_round(plan, &kept, &reports);
+        }
         let elapsed = started.elapsed();
 
-        // Jobs are cell-major, so (even after shard filtering) each cell's
-        // replications are a contiguous run of the report list.
-        let mut cells = Vec::new();
-        let mut start = 0;
-        while start < jobs.len() {
-            let cell = jobs[start].cell;
-            let mut end = start + 1;
-            while end < jobs.len() && jobs[end].cell == cell {
-                end += 1;
-            }
-            let (label, scenario, protocol) = spec.cell(cell);
-            cells.push(CellSummary {
-                label: label.to_owned(),
-                scenario: scenario.name.clone(),
-                protocol,
-                summary: Summary::from_reports(&reports[start..end])
-                    .expect("every cell has >= 1 replication"),
-            });
-            start = end;
-        }
+        let cells: Vec<CellSummary> = kept
+            .iter()
+            .map(|&index| {
+                let cell = &plan.cells[index];
+                CellSummary {
+                    label: cell.label.clone(),
+                    scenario: cell.scenario.name.clone(),
+                    protocol: cell.protocol,
+                    summary: Summary::from_reports(&reports[index])
+                        .expect("every cell runs >= 1 replication"),
+                }
+            })
+            .collect();
         if self.progress {
             eprintln!(
-                "[vanet-runner] campaign '{}' finished: {} jobs in {:.2}s",
-                spec.name,
-                total,
+                "[vanet-runner] campaign '{}' finished: {} jobs executed, {} cached, {:.2}s",
+                plan.name,
+                executed,
+                cached,
                 elapsed.as_secs_f64()
             );
         }
         CampaignResults {
-            campaign: spec.name.clone(),
+            campaign: plan.name.clone(),
             workers: self.workers,
             elapsed,
+            executed_jobs: executed,
+            cached_jobs: cached,
             cells,
         }
     }
+}
+
+/// The next batch of adaptive jobs: one extra replication for every kept
+/// `ConfidenceWidth` cell whose watched metric's 95% CI is still wider than
+/// its target and whose cap is not reached. Decisions depend only on the
+/// deterministic reports, so the round structure is identical across worker
+/// counts and resumes.
+fn next_adaptive_round(
+    plan: &CampaignPlan,
+    kept: &[usize],
+    reports: &[Vec<Report>],
+) -> Vec<PlanJob> {
+    let mut next = Vec::new();
+    for &index in kept {
+        let ReplicationPolicy::ConfidenceWidth {
+            metric,
+            target_width,
+            ..
+        } = &plan.cells[index].replication
+        else {
+            continue;
+        };
+        let done = &reports[index];
+        if done.len() >= plan.cells[index].replication.max_replications() {
+            continue;
+        }
+        let summary = Summary::from_reports(done).expect("adaptive cell ran its minimum");
+        let width = summary
+            .metric(metric)
+            .expect("metric validated before the first round")
+            .ci95;
+        if width > *target_width {
+            next.push(plan.job(index, done.len()));
+        }
+    }
+    next
 }
 
 #[cfg(test)]
@@ -249,12 +390,32 @@ mod tests {
         assert_eq!(cell.summary.replications, 2);
         assert!(cell.summary.data_sent.mean > 0.0);
         assert_eq!(results.total_runs(), 2);
+        assert_eq!(results.executed_jobs, 2);
+        assert_eq!(results.cached_jobs, 0);
     }
 
     #[test]
     #[should_panic(expected = "empty scenario or protocol set")]
     fn empty_spec_panics() {
         let _ = Runner::new().run(&CampaignSpec::new("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no cells")]
+    fn empty_plan_panics() {
+        let _ = Runner::new().run_plan(&CampaignPlan::new("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_adaptive_metric_panics() {
+        let plan = CampaignPlan::new("bad").cell_with(
+            "x",
+            Scenario::highway(4).with_duration(SimDuration::from_secs(1.0)),
+            ProtocolKind::Flooding,
+            ReplicationPolicy::confidence_width("not_a_metric", 0.1, 2, 4),
+        );
+        let _ = Runner::new().run_plan(&plan);
     }
 
     fn shard_spec() -> CampaignSpec {
@@ -314,5 +475,11 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn shard_index_out_of_range_panics() {
         let _ = Runner::new().with_shard(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be at least 1")]
+    fn zero_shard_count_panics() {
+        let _ = Runner::new().with_shard(0, 0);
     }
 }

@@ -47,7 +47,7 @@ impl std::fmt::Display for ExportError {
 
 impl std::error::Error for ExportError {}
 
-fn malformed(line: usize, reason: impl Into<String>) -> ExportError {
+pub(crate) fn malformed(line: usize, reason: impl Into<String>) -> ExportError {
     ExportError::Malformed {
         line,
         reason: reason.into(),
@@ -245,7 +245,7 @@ pub fn parse_csv(input: &str) -> Result<ParsedCampaign, ExportError> {
 
 // ---------------------------------------------------------------- jsonl --
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -292,29 +292,29 @@ pub fn render_jsonl(results: &CampaignResults) -> String {
     out
 }
 
-/// A parsed JSON value (the subset JSONL exports use).
-enum Json {
+/// A parsed JSON value (the subset JSONL exports and journals use).
+pub(crate) enum Json {
     Num(f64),
     Str(String),
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -324,13 +324,13 @@ impl Json {
 
 /// A minimal recursive-descent JSON parser over the export subset
 /// (objects, strings, numbers).
-struct JsonParser<'a> {
+pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonParser<'a> {
-    fn new(input: &'a str) -> Self {
+    pub(crate) fn new(input: &'a str) -> Self {
         JsonParser {
             bytes: input.as_bytes(),
             pos: 0,
@@ -357,7 +357,7 @@ impl<'a> JsonParser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    pub(crate) fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
@@ -549,6 +549,8 @@ mod tests {
             campaign: "fake".to_owned(),
             workers: 4,
             elapsed: Duration::from_millis(1),
+            executed_jobs: 6,
+            cached_jobs: 0,
             cells: vec![
                 CellSummary {
                     label: "hw".to_owned(),

@@ -4,37 +4,55 @@
 //! compared across scenarios, densities and seeds. This crate turns that
 //! matrix into a first-class object:
 //!
-//! * [`CampaignSpec`] declares a (scenario grid × protocols × replications)
-//!   campaign and expands it into independent, pre-seeded [`Job`]s;
-//! * [`Runner`] executes the jobs on a work-stealing `std::thread` pool sized
-//!   to the available cores, streaming progress to stderr;
-//! * every (scenario × protocol) cell is reduced to a [`Summary`] carrying
-//!   mean, std-dev, min/max and 95% confidence intervals per metric —
-//!   replacing the lossy mean-only reduction of `average_reports`;
+//! * [`CampaignPlan`] (from `vanet-core`, re-exported here) declares a
+//!   campaign as explicit per-cell (label, scenario, protocol,
+//!   [`ReplicationPolicy`]) bindings — mixed comparisons are one plan — with
+//!   [`CampaignPlan::cross_product`] covering the uniform sweeps the legacy
+//!   [`CampaignSpec`] described;
+//! * [`Runner`] executes plans on a work-stealing `std::thread` pool sized
+//!   to the available cores, streaming progress to stderr; with
+//!   [`Runner::with_journal`] every completed job is persisted to a
+//!   content-hash-keyed [`Journal`], so interrupted campaigns resume
+//!   executing only the missing jobs and edited plans re-run only changed
+//!   cells;
+//! * [`ReplicationPolicy::ConfidenceWidth`] keeps adding seeds to a cell
+//!   until the 95% CI of a chosen metric is narrow enough, while
+//!   [`ReplicationPolicy::Fixed`] stays byte-identical to the legacy path;
+//! * every cell is reduced to a [`Summary`] carrying mean, std-dev, min/max
+//!   and 95% confidence intervals per metric;
 //! * results export as fixed-width tables, CSV and JSONL
 //!   ([`render_table`], [`render_csv`], [`render_jsonl`]) and parse back
 //!   losslessly ([`parse_csv`], [`parse_jsonl`]);
 //! * [`catalog`] names the standard campaigns, and the `vanet-campaign`
-//!   binary runs named or parameterised campaigns from the command line.
+//!   binary runs named or parameterised campaigns from the command line
+//!   (`--resume DIR` for journals, `--ci-target` for adaptive replication).
 //!
 //! **Determinism contract:** a job's result depends only on its pre-assigned
-//! seed, and cells are reduced in spec order, so campaign results are
-//! byte-identical whether they ran on 1 worker or 64.
+//! seed, cells are reduced in plan order, and adaptive stopping decisions
+//! depend only on the (deterministic) reports — so campaign results are
+//! byte-identical whether they ran on 1 worker or 64, cold or resumed.
 //!
 //! # Example
 //!
 //! ```
-//! use vanet_runner::{CampaignSpec, Runner};
+//! use vanet_runner::{CampaignPlan, Runner};
 //! use vanet_core::{ProtocolKind, Scenario};
 //! use vanet_sim::SimDuration;
 //!
-//! let spec = CampaignSpec::new("doc")
-//!     .scenario("hw", Scenario::highway(10).with_duration(SimDuration::from_secs(5.0)))
-//!     .protocols([ProtocolKind::Flooding])
-//!     .replications(2);
-//! let results = Runner::new().run(&spec);
-//! assert_eq!(results.cells.len(), 1);
-//! assert_eq!(results.cells[0].summary.replications, 2);
+//! let plan = CampaignPlan::new("doc")
+//!     .cell(
+//!         "hw-flooding",
+//!         Scenario::highway(10).with_duration(SimDuration::from_secs(5.0)),
+//!         ProtocolKind::Flooding,
+//!     )
+//!     .cell(
+//!         "hw-greedy",
+//!         Scenario::highway(10).with_duration(SimDuration::from_secs(5.0)),
+//!         ProtocolKind::Greedy,
+//!     );
+//! let results = Runner::new().run_plan(&plan);
+//! assert_eq!(results.cells.len(), 2);
+//! assert_eq!(results.executed_jobs, 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,6 +63,7 @@ pub mod campaign;
 pub mod catalog;
 pub mod engine;
 pub mod export;
+pub mod journal;
 pub mod scenario_spec;
 pub mod summary;
 
@@ -58,4 +77,9 @@ pub use engine::{CampaignResults, CellSummary, Runner};
 pub use export::{
     parse_csv, parse_jsonl, render_csv, render_jsonl, render_table, ExportError, ParsedCampaign,
 };
+pub use journal::{Journal, JournalEntry, JOURNAL_FILE};
+pub use scenario_spec::ScenarioParseError;
 pub use summary::{t_critical_95, Summary, SummaryStat, METRIC_NAMES};
+// The plan types live in vanet-core (so the experiment harness shares the
+// same conventions) but are part of this crate's primary API.
+pub use vanet_core::{CampaignPlan, PlanCell, PlanJob, ReplicationPolicy};

@@ -1,9 +1,49 @@
 //! Textual scenario specifiers (`highway-40`, `urban-25`, `sparse`, …).
 //!
 //! Shared by the `vanet-campaign` CLI and the catalog so campaigns can be
-//! parameterised from the command line without a configuration file.
+//! parameterised from the command line without a configuration file. Parsing
+//! returns a [`ScenarioParseError`] naming the field that was wrong, which
+//! the CLI prints verbatim; [`parse_opt`] is the legacy `Option` shim.
 
 use vanet_core::{Scenario, TrafficRegime};
+
+/// A failed scenario-specifier parse: which specifier, and which part of it
+/// was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioParseError {
+    /// The specifier that failed to parse.
+    pub spec: String,
+    /// What was wrong, naming the offending field or option.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad scenario specifier {:?}: {}",
+            self.spec, self.message
+        )
+    }
+}
+
+impl std::error::Error for ScenarioParseError {}
+
+fn error(spec: &str, message: impl Into<String>) -> ScenarioParseError {
+    ScenarioParseError {
+        spec: spec.to_owned(),
+        message: message.into(),
+    }
+}
+
+fn count(spec: &str, family: &str, raw: &str) -> Result<usize, ScenarioParseError> {
+    raw.parse().map_err(|_| {
+        error(
+            spec,
+            format!("{family} vehicle count {raw:?} is not a positive integer"),
+        )
+    })
+}
 
 /// Parses one scenario specifier:
 ///
@@ -13,40 +53,77 @@ use vanet_core::{Scenario, TrafficRegime};
 ///   grows with the fleet; `megacity-100000` is the fleet-capacity workload);
 /// * `sparse` / `normal` / `congested` — a Table-I highway traffic regime;
 /// * an optional `:rsus=<K>` suffix adds K road-side units, e.g.
-///   `sparse:rsus=4`.
-#[must_use]
-pub fn parse(spec: &str) -> Option<Scenario> {
+///   `sparse:rsus=4`; `flows=<N>` and `seed=<N>` work the same way.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioParseError`] naming the bad field: the scenario
+/// family, the vehicle count, or the offending option key/value.
+pub fn parse(spec: &str) -> Result<Scenario, ScenarioParseError> {
     let (base, options) = match spec.split_once(':') {
         Some((b, o)) => (b, Some(o)),
         None => (spec, None),
     };
-    let mut scenario = if let Some(count) = base.strip_prefix("highway-") {
-        Scenario::highway(count.parse().ok()?)
-    } else if let Some(count) = base.strip_prefix("urban-") {
-        Scenario::urban(count.parse().ok()?)
-    } else if let Some(count) = base.strip_prefix("megacity-") {
-        Scenario::megacity(count.parse().ok()?)
+    let mut scenario = if let Some(raw) = base.strip_prefix("highway-") {
+        Scenario::highway(count(spec, "highway", raw)?)
+    } else if let Some(raw) = base.strip_prefix("urban-") {
+        Scenario::urban(count(spec, "urban", raw)?)
+    } else if let Some(raw) = base.strip_prefix("megacity-") {
+        Scenario::megacity(count(spec, "megacity", raw)?)
     } else {
         let regime = match base {
             "sparse" => TrafficRegime::Sparse,
             "normal" => TrafficRegime::Normal,
             "congested" => TrafficRegime::Congested,
-            _ => return None,
+            other => {
+                return Err(error(
+                    spec,
+                    format!(
+                        "unknown scenario family {other:?} (expected highway-<N>, urban-<N>, \
+                         megacity-<N>, sparse, normal or congested)"
+                    ),
+                ))
+            }
         };
         Scenario::highway_regime(regime)
     };
     if let Some(options) = options {
         for option in options.split(',') {
-            let (key, value) = option.split_once('=')?;
+            let Some((key, value)) = option.split_once('=') else {
+                return Err(error(
+                    spec,
+                    format!("option {option:?} is missing its '=<value>'"),
+                ));
+            };
+            let integer = |field: &str| -> Result<u64, ScenarioParseError> {
+                value.parse().map_err(|_| {
+                    error(
+                        spec,
+                        format!("option {field} has non-integer value {value:?}"),
+                    )
+                })
+            };
             match key {
-                "rsus" => scenario = scenario.with_rsus(value.parse().ok()?),
-                "flows" => scenario = scenario.with_flows(value.parse().ok()?),
-                "seed" => scenario = scenario.with_seed(value.parse().ok()?),
-                _ => return None,
+                "rsus" => scenario = scenario.with_rsus(integer("rsus")? as usize),
+                "flows" => scenario = scenario.with_flows(integer("flows")? as usize),
+                "seed" => scenario = scenario.with_seed(integer("seed")?),
+                other => {
+                    return Err(error(
+                        spec,
+                        format!("unknown option {other:?} (expected rsus, flows or seed)"),
+                    ))
+                }
             }
         }
     }
-    Some(scenario)
+    Ok(scenario)
+}
+
+/// The legacy `Option` shim over [`parse`], for callers that only care
+/// whether the specifier is valid.
+#[must_use]
+pub fn parse_opt(spec: &str) -> Option<Scenario> {
+    parse(spec).ok()
 }
 
 #[cfg(test)]
@@ -60,7 +137,7 @@ mod tests {
         assert_eq!(parse("megacity-50").unwrap().vehicle_count(), 50);
         assert_eq!(parse("megacity-50").unwrap().name, "megacity-50");
         assert!(parse("sparse").unwrap().name.contains("sparse"));
-        assert!(parse("congested").is_some());
+        assert!(parse("congested").is_ok());
     }
 
     #[test]
@@ -72,9 +149,28 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(parse("highway-").is_none());
-        assert!(parse("moon-base").is_none());
-        assert!(parse("sparse:warp=9").is_none());
+    fn errors_name_the_bad_field() {
+        let err = parse("highway-").unwrap_err();
+        assert!(err.message.contains("highway vehicle count"), "{err}");
+        let err = parse("moon-base").unwrap_err();
+        assert!(err.message.contains("unknown scenario family"), "{err}");
+        assert!(err.message.contains("moon-base"), "{err}");
+        let err = parse("sparse:warp=9").unwrap_err();
+        assert!(err.message.contains("unknown option \"warp\""), "{err}");
+        let err = parse("sparse:rsus=many").unwrap_err();
+        assert!(err.message.contains("rsus"), "{err}");
+        assert!(err.message.contains("many"), "{err}");
+        let err = parse("sparse:rsus").unwrap_err();
+        assert!(err.message.contains("missing its '=<value>'"), "{err}");
+        // Display includes the full specifier for CLI output.
+        assert!(err.to_string().contains("sparse:rsus"), "{err}");
+    }
+
+    #[test]
+    fn option_shim_mirrors_the_result() {
+        assert!(parse_opt("highway-40").is_some());
+        assert!(parse_opt("highway-").is_none());
+        assert!(parse_opt("moon-base").is_none());
+        assert!(parse_opt("sparse:warp=9").is_none());
     }
 }

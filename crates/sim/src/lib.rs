@@ -27,6 +27,7 @@
 
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod pool;
 pub mod rng;
@@ -37,6 +38,7 @@ pub mod wheel;
 
 pub use error::SimError;
 pub use event::{EventEntry, EventHandle, EventQueue};
+pub use hash::{stable_hash_str, StableHasher};
 pub use ids::{FlowId, NodeId, PacketId, PacketIdAllocator, SeqNo};
 pub use pool::{available_workers, parallel_map_indexed, parallel_map_with_progress};
 pub use rng::SimRng;

@@ -43,8 +43,8 @@ pub use vanet_sim as sim;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use vanet_core::{
-        run_averaged, run_scenario, ChannelModel, ProtocolKind, Report, Scenario, Simulation,
-        TrafficRegime,
+        run_averaged, run_scenario, CampaignPlan, ChannelModel, ProtocolKind, ReplicationPolicy,
+        Report, Scenario, Simulation, TrafficRegime,
     };
     pub use vanet_links::{
         link_lifetime_constant_speed, link_lifetime_planar, path_lifetime, LinkLifetime,
