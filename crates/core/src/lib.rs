@@ -28,6 +28,7 @@ pub mod plan;
 pub mod scenario;
 pub mod simulation;
 pub mod taxonomy;
+pub mod telemetry;
 
 pub use experiment::{
     average_reports, render_csv, render_table, run_averaged, run_matrix, run_matrix_with_workers,
@@ -38,3 +39,12 @@ pub use plan::{CampaignPlan, PlanCell, PlanJob, ReplicationPolicy};
 pub use scenario::{ChannelModel, RoadLayout, Scenario, TrafficRegime};
 pub use simulation::{run_scenario, Flow, Simulation};
 pub use taxonomy::{taxonomy_lines, ProtocolKind};
+pub use telemetry::{
+    drop_reason_index, NoTelemetry, RegionRecord, Telemetry, WindowRecord, WindowedTap,
+    DROP_REASON_COUNT, DROP_REASON_NAMES,
+};
+// The telemetry trait's hook signatures mention these types, so downstream
+// crates (the runner) can name them without depending on the layer crates.
+pub use vanet_mobility::Position;
+pub use vanet_net::MediumStats;
+pub use vanet_routing::DropReason;

@@ -5,6 +5,7 @@
 use crate::metrics::{Metrics, Report};
 use crate::scenario::{ChannelModel, Scenario};
 use crate::taxonomy::ProtocolKind;
+use crate::telemetry::{NoTelemetry, Telemetry};
 use std::sync::Arc;
 use vanet_mobility::{MobilityModel, Position, VehicleKind, VehicleState};
 use vanet_net::{
@@ -57,7 +58,12 @@ struct NodeRuntime {
 }
 
 /// A complete, runnable simulation of one scenario with one protocol.
-pub struct Simulation {
+///
+/// Generic over a [`Telemetry`] tap; the default [`NoTelemetry`]
+/// instantiation monomorphises every hook call to nothing, so the hot path
+/// is untouched unless a tap is attached via
+/// [`Simulation::with_telemetry`].
+pub struct Simulation<T: Telemetry = NoTelemetry> {
     scenario: Scenario,
     mobility: Box<dyn MobilityModel + Send>,
     mobility_rng: SimRng,
@@ -89,9 +95,11 @@ pub struct Simulation {
     /// Reusable buffer for expired-neighbour ids during a maintenance event
     /// (ping-ponged around `dispatch`, so purges allocate nothing).
     lost_scratch: Vec<NodeId>,
+    /// Streaming observation tap (zero-sized no-op by default).
+    telemetry: T,
 }
 
-impl std::fmt::Debug for Simulation {
+impl<T: Telemetry> std::fmt::Debug for Simulation<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("scenario", &self.scenario.name)
@@ -116,6 +124,24 @@ impl Simulation {
         scenario: Scenario,
         factory: &dyn Fn() -> Box<dyn RoutingProtocol + Send>,
     ) -> Self {
+        Self::build(scenario, &|| factory(), NoTelemetry)
+    }
+}
+
+impl<T: Telemetry> Simulation<T> {
+    /// Builds a simulation with a streaming telemetry tap attached. The
+    /// event stream is identical to the untapped run — the tap only
+    /// observes — so reports stay byte-identical with and without it.
+    #[must_use]
+    pub fn with_telemetry(scenario: Scenario, kind: ProtocolKind, telemetry: T) -> Self {
+        Self::build(scenario, &|| kind.build(), telemetry)
+    }
+
+    fn build(
+        scenario: Scenario,
+        factory: &dyn Fn() -> Box<dyn RoutingProtocol + Send>,
+        mut telemetry: T,
+    ) -> Self {
         let master = SimRng::new(scenario.seed);
         let mut mobility_rng = master.derive("mobility");
         let medium_rng = master.derive("medium");
@@ -124,6 +150,7 @@ impl Simulation {
         let mobility = scenario.build_mobility(&mut mobility_rng);
         let vehicle_states: Vec<VehicleState> = mobility.states().to_vec();
         let bounds = mobility.bounds();
+        telemetry.on_start(bounds.min, bounds.max, scenario.duration);
 
         // Road-side units are placed evenly along the scenario's x extent.
         let vehicle_count = vehicle_states.len();
@@ -216,6 +243,7 @@ impl Simulation {
             action_scratch: Vec::new(),
             delivery_buf: Vec::new(),
             lost_scratch: Vec::new(),
+            telemetry,
         };
         // Beacons and per-node maintenance deadlines go through the
         // scheduler's timer wheel: one slot per interval instead of one heap
@@ -342,10 +370,26 @@ impl Simulation {
                 self.warm_upcoming();
             }
             until_warm -= 1;
+            self.telemetry.on_event(now, self.medium.stats());
             self.handle_event(now, event);
         }
+        let end = SimTime::ZERO + self.scenario.duration;
+        self.telemetry.on_finish(end, self.medium.stats());
         self.metrics
             .report(self.protocol_name.clone(), self.scenario.name.clone())
+    }
+
+    /// The attached telemetry tap.
+    #[must_use]
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// Consumes the simulation and returns the tap (for flushing after
+    /// [`Simulation::run`]).
+    #[must_use]
+    pub fn into_telemetry(self) -> T {
+        self.telemetry
     }
 
     fn node_index(&self, id: NodeId) -> usize {
@@ -382,6 +426,9 @@ impl Simulation {
                 let mut lost = std::mem::take(&mut self.lost_scratch);
                 lost.clear();
                 self.nodes[idx].neighbors.purge_due(now, &mut lost);
+                if !lost.is_empty() {
+                    self.telemetry.on_neighbor_lost(now, lost.len());
+                }
                 let count = self.nodes[idx].neighbors.len();
                 self.metrics.record_neighbor_count(count);
                 for &neighbor in &lost {
@@ -416,6 +463,7 @@ impl Simulation {
                 packet.created_at = now;
                 packet.flow = Some(flow.id);
                 self.metrics.record_origination(packet.id, flow.source, now);
+                self.telemetry.on_origination(now);
                 let idx = self.node_index(flow.source);
                 self.dispatch(idx, now, |p, ctx| p.originate(ctx, packet));
                 self.scheduler
@@ -431,10 +479,16 @@ impl Simulation {
                 // transmitter (overhearing counts as neighbour awareness).
                 if let (Some(pos), Some(vel)) = (packet.sender_position, packet.sender_velocity) {
                     let lifetime = self.beacon_config.lifetime;
-                    self.nodes[idx]
-                        .neighbors
-                        .observe(packet.prev_hop, pos, vel, now, lifetime);
+                    let gained =
+                        self.nodes[idx]
+                            .neighbors
+                            .observe(packet.prev_hop, pos, vel, now, lifetime);
+                    if gained {
+                        self.telemetry.on_neighbor_gained(now);
+                    }
                 }
+                self.telemetry
+                    .on_receive(now, self.nodes[idx].state.position);
                 if packet.kind == PacketKind::Hello {
                     return;
                 }
@@ -481,6 +535,8 @@ impl Simulation {
         );
         let sender_id = self.nodes[sender_idx].id;
         let sender_pos = self.nodes[sender_idx].state.position;
+        self.telemetry
+            .on_transmit(now, sender_pos, packet.size_bytes(), packet.is_control());
         let mut deliveries = std::mem::take(&mut self.delivery_buf);
         self.medium.transmit_indexed_into(
             now,
@@ -537,9 +593,13 @@ impl Simulation {
                 }
                 Action::Deliver(packet) => {
                     self.metrics.record_delivery(packet.id, packet.hops, now);
+                    let delay_s = (now - packet.created_at).as_secs();
+                    self.telemetry.on_delivery(now, delay_s);
                 }
                 Action::Drop { reason, .. } => {
                     self.metrics.record_drop(reason);
+                    self.telemetry
+                        .on_drop(now, self.nodes[node_idx].state.position, reason);
                 }
                 Action::BackboneSend { to, packet } => {
                     let from = self.nodes[node_idx].id;
@@ -555,6 +615,11 @@ impl Simulation {
                         );
                     } else {
                         self.metrics.record_drop(vanet_routing::DropReason::NoRoute);
+                        self.telemetry.on_drop(
+                            now,
+                            self.nodes[node_idx].state.position,
+                            vanet_routing::DropReason::NoRoute,
+                        );
                     }
                 }
             }

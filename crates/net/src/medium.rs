@@ -65,6 +65,27 @@ pub struct MediumStats {
 }
 
 impl MediumStats {
+    /// Counter-wise difference `self − earlier` (saturating at zero): the
+    /// medium activity between two snapshots. Telemetry taps snapshot the
+    /// stats at each window boundary and report the per-window delta as the
+    /// channel-load record — frames on air, deliveries, losses by cause and
+    /// bytes, all attributed to the window they happened in.
+    #[must_use]
+    pub fn since(&self, earlier: &MediumStats) -> MediumStats {
+        let delta = |now: Counter, before: Counter| {
+            let mut c = Counter::new();
+            c.add(now.value().saturating_sub(before.value()));
+            c
+        };
+        MediumStats {
+            transmissions: delta(self.transmissions, earlier.transmissions),
+            deliveries: delta(self.deliveries, earlier.deliveries),
+            propagation_losses: delta(self.propagation_losses, earlier.propagation_losses),
+            collision_losses: delta(self.collision_losses, earlier.collision_losses),
+            bytes_transmitted: delta(self.bytes_transmitted, earlier.bytes_transmitted),
+        }
+    }
+
     /// Fraction of candidate receptions lost to collisions.
     #[must_use]
     pub fn collision_rate(&self) -> f64 {

@@ -189,7 +189,10 @@ impl NeighborTable {
         }
     }
 
-    /// Inserts or refreshes a neighbour from a received beacon.
+    /// Inserts or refreshes a neighbour from a received beacon. Returns
+    /// `true` when the neighbour was newly inserted (a link came up) and
+    /// `false` on a refresh of a live entry — the "gained" half of the
+    /// neighbour-churn signal telemetry taps record.
     pub fn observe(
         &mut self,
         id: NodeId,
@@ -197,7 +200,7 @@ impl NeighborTable {
         velocity: Velocity,
         now: SimTime,
         lifetime: SimDuration,
-    ) {
+    ) -> bool {
         let expires_at = now + lifetime;
         let info = NeighborInfo {
             id,
@@ -206,14 +209,18 @@ impl NeighborTable {
             last_heard: now,
             expires_at,
         };
-        match self.position_of(id) {
-            Ok(i) => self.entries[i] = info,
+        let inserted = match self.position_of(id) {
+            Ok(i) => {
+                self.entries[i] = info;
+                false
+            }
             Err(i) => {
                 self.keys.insert(i, id);
                 self.entries.insert(i, info);
                 self.sync_inline();
+                true
             }
-        }
+        };
         // Keep the bound a lower bound of every live deadline on refreshes
         // too: with monotone observation times a refresh can only raise its
         // entry's deadline, but enforcing the invariant here (one compare)
@@ -221,6 +228,7 @@ impl NeighborTable {
         if expires_at < self.next_deadline {
             self.next_deadline = expires_at;
         }
+        inserted
     }
 
     /// The lazy-expiry deadline: no entry can expire strictly before this

@@ -102,6 +102,46 @@ pub fn run_hotpath_bench(vehicles: usize, duration_s: f64, protocol: ProtocolKin
     }
 }
 
+/// Runs the hot-path benchmark with a streaming telemetry tap attached,
+/// returning the outcome plus the sealed tap. Bench numbers measured with
+/// the tap are *not* comparable to untapped ones — this entry point exists
+/// so CI can produce a `telemetry.jsonl` artifact from the bench workload
+/// while the committed gate keeps running the untapped build.
+#[must_use]
+pub fn run_hotpath_bench_tapped(
+    vehicles: usize,
+    duration_s: f64,
+    protocol: ProtocolKind,
+    window_s: f64,
+    regions_per_axis: usize,
+) -> (BenchOutcome, vanet_core::WindowedTap) {
+    let scenario = Scenario::megacity(vehicles).with_duration(SimDuration::from_secs(duration_s));
+    let scenario_name = scenario.name.clone();
+    let tap = vanet_core::WindowedTap::new(SimDuration::from_secs(window_s), regions_per_axis);
+    let mut sim = Simulation::with_telemetry(scenario, protocol, tap);
+    let started = Instant::now();
+    let report = sim.run();
+    let wall_s = started.elapsed().as_secs_f64();
+    let events = sim.processed_events();
+    let outcome = BenchOutcome {
+        scenario: scenario_name,
+        protocol,
+        duration_s,
+        run: BenchRun {
+            events,
+            wall_s,
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+            peak_rss_bytes: peak_rss_bytes(),
+        },
+        report,
+    };
+    (outcome, sim.into_telemetry())
+}
+
 /// One fleet-capacity measurement: `shards` independent simulations, one per
 /// worker, run concurrently on the pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -203,7 +243,7 @@ pub fn run_fleet_bench(
 
 /// Extracts the numeric value of `"key":<number>` from flat JSON. Tolerant of
 /// whitespace; returns `None` when the key is absent.
-fn json_number(text: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_number(text: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\"");
     let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
@@ -214,7 +254,7 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 }
 
 /// Extracts the value of `"key": "string"` from flat JSON.
-fn json_string(text: &str, key: &str) -> Option<String> {
+pub(crate) fn json_string(text: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\"");
     let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
@@ -302,7 +342,7 @@ pub fn render_bench_json(existing: Option<&str>, label: &str, outcome: &BenchOut
 }
 
 /// Extracts `"key": [n, n, ...]` (a flat numeric array) from flat JSON.
-fn json_number_array(text: &str, key: &str) -> Option<Vec<f64>> {
+pub(crate) fn json_number_array(text: &str, key: &str) -> Option<Vec<f64>> {
     let needle = format!("\"{key}\"");
     let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();

@@ -27,16 +27,28 @@
 //!   --workers N           worker threads (default: available cores)
 //!   --format F            table | csv | jsonl        (default table)
 //!   --out FILE            write results to FILE instead of stdout
+//!   --telemetry           stream windowed per-job telemetry to
+//!                         DIR/telemetry.jsonl beside the journal
+//!                         (requires --resume DIR; with --bench, writes
+//!                         telemetry.jsonl beside the bench JSON)
+//!   --telemetry-window S  telemetry window width in sim seconds (default 1)
+//!   --telemetry-regions N spatial regions per axis (default 8)
 //!   --full                paper-scale variant of catalog campaigns
 //!   --quiet               suppress per-job progress on stderr
+//!
+//! vanet-campaign analyze ...   verdicts from campaign artifacts
+//!                              (significance tests, windowed CSV exports,
+//!                              bench-trajectory regression checks — see
+//!                              `analyze --help`)
 //! ```
 
 use std::process::ExitCode;
 use vanet_core::ProtocolKind;
 use vanet_runner::{
     campaign_by_name, gate_events_per_sec, parse_scenario, protocol_by_name, render_bench_json,
-    render_csv, render_fleet_bench_json, render_jsonl, render_table, run_fleet_bench,
-    run_hotpath_bench, CampaignPlan, CampaignSpec, ReplicationPolicy, Runner, CATALOG,
+    render_csv, render_fleet_bench_json, render_jsonl, render_table, run_analyze, run_fleet_bench,
+    run_hotpath_bench, run_hotpath_bench_tapped, CampaignPlan, CampaignSpec, ReplicationPolicy,
+    Runner, TelemetryEntry, TelemetryLog, TelemetrySettings, CATALOG,
 };
 use vanet_sim::pool::available_workers;
 
@@ -71,6 +83,9 @@ struct Args {
     bench_shards: Option<usize>,
     bench_gate: Option<String>,
     bench_gate_ratio: f64,
+    telemetry: bool,
+    telemetry_window_s: f64,
+    telemetry_regions: usize,
 }
 
 fn usage() -> String {
@@ -78,12 +93,18 @@ fn usage() -> String {
         "usage: vanet-campaign [NAME] [--scenarios S1,S2] [--protocols P1,P2] \
          [--seeds N] [--resume DIR] [--ci-target W] [--ci-metric NAME] \
          [--ci-max N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
-         [--shard I/N] [--full] [--quiet] [--list]\n       \
+         [--shard I/N] [--telemetry] [--telemetry-window S] \
+         [--telemetry-regions N] [--full] [--quiet] [--list]\n       \
          vanet-campaign --bench [--bench-vehicles N] [--bench-duration S] \
          [--bench-label baseline|current] [--out FILE] \
-         [--bench-gate FILE] [--bench-gate-ratio R]\n       \
+         [--bench-gate FILE] [--bench-gate-ratio R] [--telemetry]\n       \
          vanet-campaign --bench-fleet [--bench-shards N] [--bench-vehicles N] \
-         [--bench-duration S] [--bench-label baseline|current] [--out FILE]\n\n\
+         [--bench-duration S] [--bench-label baseline|current] [--out FILE]\n       \
+         vanet-campaign analyze --journal DIR | --timeseries DIR | \
+         --regions DIR | --bench-trend FILE... (see analyze --help)\n\n\
+         campaign telemetry (--telemetry, requires --resume DIR) streams \
+         windowed per-job counters\n         to DIR/telemetry.jsonl beside \
+         the journal; analyze turns artifacts into verdicts.\n\n\
          catalog campaigns:\n",
     );
     for (name, blurb) in CATALOG {
@@ -120,6 +141,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         bench_shards: None,
         bench_gate: None,
         bench_gate_ratio: 0.75,
+        telemetry: false,
+        telemetry_window_s: 1.0,
+        telemetry_regions: 8,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -221,6 +245,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--bench-gate-ratio must be within 0..=1".to_owned());
                 }
                 args.bench_gate_ratio = ratio;
+            }
+            "--telemetry" => args.telemetry = true,
+            "--telemetry-window" => {
+                let window: f64 = value("--telemetry-window")?
+                    .parse()
+                    .map_err(|_| "--telemetry-window needs a number of seconds".to_owned())?;
+                if !window.is_finite() || window <= 0.0 {
+                    return Err("--telemetry-window must be a positive number".to_owned());
+                }
+                args.telemetry_window_s = window;
+            }
+            "--telemetry-regions" => {
+                let regions: usize = value("--telemetry-regions")?
+                    .parse()
+                    .map_err(|_| "--telemetry-regions needs an integer".to_owned())?;
+                if regions == 0 {
+                    return Err("--telemetry-regions must be at least 1".to_owned());
+                }
+                args.telemetry_regions = regions;
             }
             "--bench-vehicles" => {
                 args.bench_vehicles = value("--bench-vehicles")?
@@ -347,7 +390,21 @@ fn run_bench(args: &Args) -> ExitCode {
         "[vanet-campaign] bench: megacity-{} x {}s under {} ({})",
         args.bench_vehicles, args.bench_duration_s, protocol, args.bench_label
     );
-    let outcome = run_hotpath_bench(args.bench_vehicles, args.bench_duration_s, protocol);
+    let (outcome, tap) = if args.telemetry {
+        let (outcome, tap) = run_hotpath_bench_tapped(
+            args.bench_vehicles,
+            args.bench_duration_s,
+            protocol,
+            args.telemetry_window_s,
+            args.telemetry_regions,
+        );
+        (outcome, Some(tap))
+    } else {
+        (
+            run_hotpath_bench(args.bench_vehicles, args.bench_duration_s, protocol),
+            None,
+        )
+    };
     eprintln!(
         "[vanet-campaign] {} events in {:.2}s = {:.0} events/sec, peak RSS {:.1} MiB, pdr {:.3}",
         outcome.run.events,
@@ -364,6 +421,38 @@ fn run_bench(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("[vanet-campaign] wrote {path}");
+    if let Some(tap) = &tap {
+        let dir = std::path::Path::new(path)
+            .parent()
+            .filter(|parent| !parent.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        // The bench workload is fully described by its label; a stable key
+        // keeps repeated runs of the same workload on one telemetry line.
+        let mut hasher = vanet_sim::StableHasher::new();
+        hasher.write_str("bench-telemetry/v1");
+        hasher.write_str(&outcome.scenario);
+        hasher.write_str(protocol.name());
+        hasher.write_u64(args.bench_duration_s.to_bits());
+        let entry = TelemetryEntry::from_tap(
+            hasher.finish(),
+            "bench",
+            &format!("{}/{}", outcome.scenario, protocol.name()),
+            0,
+            tap,
+        );
+        match TelemetryLog::open(dir).and_then(|log| {
+            log.record(&entry)?;
+            Ok(log.path().to_path_buf())
+        }) {
+            Ok(telemetry_path) => {
+                eprintln!("[vanet-campaign] wrote {}", telemetry_path.display());
+            }
+            Err(error) => {
+                eprintln!("cannot write telemetry beside {path:?}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Err(message) = apply_gate(
         args,
         &outcome.scenario,
@@ -434,6 +523,26 @@ fn run_bench_fleet(args: &Args) -> ExitCode {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("analyze") {
+        return match run_analyze(&argv[1..]) {
+            Ok(report) => {
+                print!("{}", report.text);
+                if !report.text.ends_with('\n') {
+                    println!();
+                }
+                if report.regressions > 0 {
+                    eprintln!("[vanet-campaign] {} check(s) failed", report.regressions);
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(message) if message == HELP_SENTINEL => {
@@ -490,6 +599,16 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = &args.resume {
         runner = runner.with_journal(dir);
+    }
+    if args.telemetry {
+        if args.resume.is_none() {
+            eprintln!("--telemetry needs --resume DIR (telemetry.jsonl lives beside the journal)");
+            return ExitCode::FAILURE;
+        }
+        runner = runner.with_telemetry(TelemetrySettings {
+            window_s: args.telemetry_window_s,
+            regions_per_axis: args.telemetry_regions,
+        });
     }
     let results = runner.run_plan(&plan);
     if args.resume.is_some() {

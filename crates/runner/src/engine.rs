@@ -3,9 +3,10 @@
 //! [`Runner`] executes a [`CampaignPlan`] on the work-stealing pool from
 //! `vanet_sim::pool`, reducing each cell's replications into a [`Summary`].
 //! Execution proceeds in rounds: the plan's initial jobs first, then — for
-//! cells with a `ConfidenceWidth` replication policy — one extra seed per
-//! still-too-wide cell per round, until every cell's 95% CI is narrow enough
-//! or its cap is reached.
+//! cells with a `ConfidenceWidth` replication policy — an adaptive batch of
+//! extra seeds per still-too-wide cell per round (sized from the observed
+//! variance, see [`next_adaptive_round`]), until every cell's 95% CI is
+//! narrow enough or its cap is reached.
 //!
 //! Determinism contract: every job is seeded at expansion time
 //! (`CampaignPlan::job`), results are reduced in job order, and adaptive
@@ -20,13 +21,38 @@
 
 use crate::campaign::CampaignSpec;
 use crate::journal::{Journal, JournalEntry};
-use crate::summary::Summary;
+use crate::manifest;
+use crate::summary::{t_critical_95, Summary};
+use crate::telemetry::{TelemetryEntry, TelemetryLog};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use vanet_core::{run_scenario, CampaignPlan, PlanJob, ProtocolKind, ReplicationPolicy, Report};
+use vanet_core::{
+    run_scenario, CampaignPlan, PlanJob, ProtocolKind, ReplicationPolicy, Report, Simulation,
+    WindowedTap,
+};
 use vanet_sim::pool::{available_workers, parallel_map_with_progress};
+use vanet_sim::SimDuration;
+
+/// Configuration of the streaming telemetry tap (see
+/// [`Runner::with_telemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySettings {
+    /// Window width in simulated seconds.
+    pub window_s: f64,
+    /// Spatial buckets per axis for the per-region aggregates.
+    pub regions_per_axis: usize,
+}
+
+impl Default for TelemetrySettings {
+    fn default() -> Self {
+        TelemetrySettings {
+            window_s: 1.0,
+            regions_per_axis: 8,
+        }
+    }
+}
 
 /// One aggregated cell of a finished campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +109,7 @@ pub struct Runner {
     progress: bool,
     shard: Option<(usize, usize)>,
     journal_dir: Option<PathBuf>,
+    telemetry: Option<TelemetrySettings>,
 }
 
 impl Default for Runner {
@@ -100,6 +127,7 @@ impl Runner {
             progress: false,
             shard: None,
             journal_dir: None,
+            telemetry: None,
         }
     }
 
@@ -131,6 +159,35 @@ impl Runner {
     #[must_use]
     pub fn with_journal(mut self, dir: impl Into<PathBuf>) -> Self {
         self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Attaches the streaming telemetry tap: every executed job runs with a
+    /// [`WindowedTap`] and flushes its windows into `telemetry.jsonl` next
+    /// to the campaign journal. Requires [`Runner::with_journal`] (the tap
+    /// persists beside the journal; `run_plan` panics otherwise). Reports
+    /// are byte-identical with and without the tap — it only observes.
+    ///
+    /// Resume composes: a job is only treated as cached when both its
+    /// journal line *and* its telemetry line survived, so a truncated
+    /// `telemetry.jsonl` re-runs exactly the affected jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settings.window_s` is not positive or
+    /// `settings.regions_per_axis` is zero.
+    #[must_use]
+    pub fn with_telemetry(mut self, settings: TelemetrySettings) -> Self {
+        assert!(
+            settings.window_s > 0.0,
+            "telemetry window must be positive, got {}",
+            settings.window_s
+        );
+        assert!(
+            settings.regions_per_axis > 0,
+            "telemetry needs at least one region per axis"
+        );
+        self.telemetry = Some(settings);
         self
     }
 
@@ -198,6 +255,30 @@ impl Runner {
             Journal::open(dir)
                 .unwrap_or_else(|error| panic!("cannot open journal in {dir:?}: {error}"))
         });
+        if let (Some(dir), Some(journal)) = (self.journal_dir.as_ref(), journal.as_ref()) {
+            // Plan-drift check: if this journal directory already holds
+            // results and a manifest, report every cell whose content
+            // changed since — a "resume" of an edited plan is a different
+            // experiment, and that should never be silent.
+            if !journal.is_empty() {
+                if let Some(previous) = manifest::load(dir)
+                    .unwrap_or_else(|error| panic!("cannot read manifest in {dir:?}: {error}"))
+                {
+                    for warning in manifest::diff(&previous, &manifest::manifest_entries(plan)) {
+                        eprintln!("[vanet-runner] warning: {warning}");
+                    }
+                }
+            }
+            manifest::write(dir, plan)
+                .unwrap_or_else(|error| panic!("cannot write manifest in {dir:?}: {error}"));
+        }
+        let telemetry_log = self.telemetry.map(|_| {
+            let dir = self.journal_dir.as_ref().expect(
+                "telemetry requires a journal directory (Runner::with_journal) to persist into",
+            );
+            TelemetryLog::open(dir)
+                .unwrap_or_else(|error| panic!("cannot open telemetry log in {dir:?}: {error}"))
+        });
 
         let in_shard = |cell: usize| match self.shard {
             None => true,
@@ -240,9 +321,20 @@ impl Runner {
             .collect();
         while !round.is_empty() {
             // Resolve journal hits first; only the misses go to the pool.
+            // With telemetry on, a hit additionally requires the job's
+            // telemetry line — a truncated `telemetry.jsonl` re-runs the
+            // affected job so the log heals deterministically.
             let mut resolved: Vec<Option<Report>> = round
                 .iter()
-                .map(|job| journal.as_ref().and_then(|j| j.lookup(job.key()).cloned()))
+                .map(|job| {
+                    let report = journal
+                        .as_ref()
+                        .and_then(|j| j.lookup(job.key()).cloned())?;
+                    match &telemetry_log {
+                        Some(tlog) if !tlog.contains(job.key()) => None,
+                        _ => Some(report),
+                    }
+                })
                 .collect();
             cached += resolved.iter().filter(|r| r.is_some()).count();
             let to_run: Vec<usize> = (0..round.len())
@@ -254,18 +346,47 @@ impl Runner {
                 self.workers,
                 |i| {
                     let job = &round[to_run[i]];
-                    let report = run_scenario(job.scenario.clone(), job.protocol);
+                    let report = match (self.telemetry, &telemetry_log) {
+                        (Some(settings), Some(tlog)) => {
+                            let tap = WindowedTap::new(
+                                SimDuration::from_secs(settings.window_s),
+                                settings.regions_per_axis,
+                            );
+                            let mut sim =
+                                Simulation::with_telemetry(job.scenario.clone(), job.protocol, tap);
+                            let report = sim.run();
+                            let tap = sim.into_telemetry();
+                            tlog.record(&TelemetryEntry::from_tap(
+                                job.key(),
+                                &plan.name,
+                                &plan.cells[job.cell].label,
+                                job.scenario.seed,
+                                &tap,
+                            ))
+                            .unwrap_or_else(|error| {
+                                panic!("cannot append to telemetry log {:?}: {error}", tlog.path())
+                            });
+                            report
+                        }
+                        _ => run_scenario(job.scenario.clone(), job.protocol),
+                    };
+                    // A job can re-run with its journal line intact (only
+                    // its telemetry line was lost); re-recording it would
+                    // duplicate the line and break byte-level replay
+                    // determinism, so append only on a true journal miss.
                     if let Some(j) = &journal {
-                        j.record(&JournalEntry {
-                            key: job.key(),
-                            campaign: plan.name.clone(),
-                            label: plan.cells[job.cell].label.clone(),
-                            seed: job.scenario.seed,
-                            report: report.clone(),
-                        })
-                        .unwrap_or_else(|error| {
-                            panic!("cannot append to journal {:?}: {error}", j.path())
-                        });
+                        if j.lookup(job.key()).is_none() {
+                            j.record(&JournalEntry {
+                                key: job.key(),
+                                campaign: plan.name.clone(),
+                                label: plan.cells[job.cell].label.clone(),
+                                seed: job.scenario.seed,
+                                report: report.clone(),
+                            })
+                            .unwrap_or_else(|error| {
+                                panic!("cannot append to journal {:?}: {error}", j.path())
+                            });
+                        }
                     }
                     report
                 },
@@ -326,11 +447,18 @@ impl Runner {
     }
 }
 
-/// The next batch of adaptive jobs: one extra replication for every kept
-/// `ConfidenceWidth` cell whose watched metric's 95% CI is still wider than
-/// its target and whose cap is not reached. Decisions depend only on the
-/// deterministic reports, so the round structure is identical across worker
-/// counts and resumes.
+/// The next batch of adaptive jobs for every kept `ConfidenceWidth` cell
+/// whose watched metric's 95% CI is still wider than its target and whose
+/// cap is not reached.
+///
+/// The batch is sized from the observed variance instead of one seed at a
+/// time: a CI of half-width `t·s/√n` shrinks below the target once
+/// `n ≥ (t·s/target)²`, so the round schedules the shortfall in one go —
+/// clamped to at most double the completed count (the variance estimate `s`
+/// is noisy at small `n`, so growth stays geometric rather than trusting
+/// one early estimate with a huge extrapolation) and to the cell's cap.
+/// Decisions depend only on the deterministic reports, so the round
+/// structure is identical across worker counts and resumes.
 fn next_adaptive_round(
     plan: &CampaignPlan,
     kept: &[usize],
@@ -347,16 +475,29 @@ fn next_adaptive_round(
             continue;
         };
         let done = &reports[index];
-        if done.len() >= plan.cells[index].replication.max_replications() {
+        let cap = plan.cells[index].replication.max_replications();
+        if done.len() >= cap {
             continue;
         }
         let summary = Summary::from_reports(done).expect("adaptive cell ran its minimum");
-        let width = summary
+        let stat = summary
             .metric(metric)
-            .expect("metric validated before the first round")
-            .ci95;
-        if width > *target_width {
-            next.push(plan.job(index, done.len()));
+            .expect("metric validated before the first round");
+        if stat.ci95 > *target_width {
+            let t = t_critical_95(done.len().saturating_sub(1));
+            let needed_f = (t * stat.std_dev / *target_width).powi(2);
+            let needed = if needed_f.is_finite() {
+                needed_f.ceil() as usize
+            } else {
+                cap
+            };
+            let batch = needed
+                .saturating_sub(done.len())
+                .clamp(1, done.len())
+                .min(cap - done.len());
+            for extra in 0..batch {
+                next.push(plan.job(index, done.len() + extra));
+            }
         }
     }
     next
@@ -469,6 +610,65 @@ mod tests {
                 .expect("cell covered by some shard");
             assert_eq!(from_shard.summary, cell.summary, "sharding altered a cell");
         }
+    }
+
+    fn report_with_ratio(delivery_ratio: f64) -> Report {
+        Report {
+            protocol: "FLOOD".to_owned(),
+            scenario: "hw".to_owned(),
+            data_sent: 10,
+            data_delivered: (delivery_ratio * 10.0) as u64,
+            duplicate_deliveries: 0,
+            delivery_ratio,
+            avg_delay_s: 0.01,
+            max_delay_s: 0.02,
+            avg_hops: 2.0,
+            control_packets: 5,
+            control_bytes: 100,
+            data_transmissions: 20,
+            control_per_delivered: 1.0,
+            transmissions_per_delivered: 2.0,
+            route_errors: 0,
+            drops: 1,
+            avg_neighbors: 4.0,
+        }
+    }
+
+    #[test]
+    fn adaptive_batches_scale_with_variance_but_stay_geometric() {
+        let plan = CampaignPlan::new("batch").cell_with(
+            "x",
+            Scenario::highway(4).with_duration(SimDuration::from_secs(1.0)),
+            ProtocolKind::Flooding,
+            ReplicationPolicy::confidence_width("delivery_ratio", 0.3, 2, 10),
+        );
+        let kept = [0usize];
+
+        // High variance at n=2: the t-projection wants hundreds of seeds,
+        // but the batch is capped at doubling the completed count.
+        let noisy = vec![vec![report_with_ratio(0.0), report_with_ratio(1.0)]];
+        let round = next_adaptive_round(&plan, &kept, &noisy);
+        assert_eq!(round.len(), 2, "batch doubles, never extrapolates further");
+        let base = plan.cells[0].scenario.seed;
+        let seeds: Vec<u64> = round.iter().map(|j| j.scenario.seed).collect();
+        assert_eq!(
+            seeds,
+            vec![base + 2, base + 3],
+            "replicates continue in order"
+        );
+
+        // Converged cell: no follow-up jobs.
+        let tight = vec![vec![report_with_ratio(0.5), report_with_ratio(0.5)]];
+        assert!(next_adaptive_round(&plan, &kept, &tight).is_empty());
+
+        // Near the cap the batch is truncated to the remaining budget.
+        let mut at_nine = vec![Vec::new()];
+        for i in 0..9 {
+            at_nine[0].push(report_with_ratio(if i % 2 == 0 { 0.0 } else { 1.0 }));
+        }
+        let round = next_adaptive_round(&plan, &kept, &at_nine);
+        assert_eq!(round.len(), 1, "cap leaves room for exactly one more");
+        assert_eq!(round[0].scenario.seed, base + 9);
     }
 
     #[test]

@@ -292,10 +292,12 @@ pub fn render_jsonl(results: &CampaignResults) -> String {
     out
 }
 
-/// A parsed JSON value (the subset JSONL exports and journals use).
+/// A parsed JSON value (the subset JSONL exports, journals and telemetry
+/// logs use).
 pub(crate) enum Json {
     Num(f64),
     Str(String),
+    Arr(Vec<Json>),
     Obj(Vec<(String, Json)>),
 }
 
@@ -320,10 +322,24 @@ impl Json {
             _ => None,
         }
     }
+
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
 }
 
 /// A minimal recursive-descent JSON parser over the export subset
-/// (objects, strings, numbers).
+/// (objects, arrays, strings, numbers).
 pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -360,9 +376,30 @@ impl<'a> JsonParser<'a> {
     pub(crate) fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             other => Err(format!("unexpected token {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
         }
     }
 

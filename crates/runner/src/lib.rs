@@ -58,28 +58,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod bench;
 pub mod campaign;
 pub mod catalog;
 pub mod engine;
 pub mod export;
 pub mod journal;
+pub mod manifest;
 pub mod scenario_spec;
 pub mod summary;
+pub mod telemetry;
 
+pub use analysis::{metric_value, run_analyze, welch_t_test, AnalyzeReport, WelchResult};
 pub use bench::{
     gate_events_per_sec, peak_rss_bytes, render_bench_json, render_fleet_bench_json,
-    run_fleet_bench, run_hotpath_bench, BenchOutcome, BenchRun, FleetBenchOutcome, FleetRun,
+    run_fleet_bench, run_hotpath_bench, run_hotpath_bench_tapped, BenchOutcome, BenchRun,
+    FleetBenchOutcome, FleetRun,
 };
 pub use campaign::{protocol_by_name, CampaignSpec, Job};
 pub use catalog::{campaign_by_name, parse_scenario, CATALOG};
-pub use engine::{CampaignResults, CellSummary, Runner};
+pub use engine::{CampaignResults, CellSummary, Runner, TelemetrySettings};
 pub use export::{
     parse_csv, parse_jsonl, render_csv, render_jsonl, render_table, ExportError, ParsedCampaign,
 };
 pub use journal::{Journal, JournalEntry, JOURNAL_FILE};
+pub use manifest::{ManifestEntry, MANIFEST_FILE};
 pub use scenario_spec::ScenarioParseError;
 pub use summary::{t_critical_95, Summary, SummaryStat, METRIC_NAMES};
+pub use telemetry::{TelemetryEntry, TelemetryLog, TELEMETRY_FILE};
 // The plan types live in vanet-core (so the experiment harness shares the
 // same conventions) but are part of this crate's primary API.
 pub use vanet_core::{CampaignPlan, PlanCell, PlanJob, ReplicationPolicy};

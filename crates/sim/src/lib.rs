@@ -35,6 +35,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod time;
 pub mod wheel;
+pub mod window;
 
 pub use error::SimError;
 pub use event::{EventEntry, EventHandle, EventQueue};
@@ -46,3 +47,4 @@ pub use scheduler::{Clock, Scheduler, TimerHandle};
 pub use stats::{Counter, Histogram, RunningStats, TimeWeightedAverage};
 pub use time::{SimDuration, SimTime};
 pub use wheel::{TimerWheel, WheelHandle};
+pub use window::WindowClock;
