@@ -7,13 +7,13 @@ use crate::scenario::{ChannelModel, Scenario};
 use crate::taxonomy::ProtocolKind;
 use crate::telemetry::{NoTelemetry, Telemetry};
 use std::sync::Arc;
-use vanet_mobility::{MobilityModel, Position, VehicleKind, VehicleState};
+use vanet_mobility::{MobilityModel, Position, VehicleKind, VehicleState, Velocity};
 use vanet_net::{
-    BeaconConfig, Delivery, LogNormalShadowing, Medium, MediumConfig, Packet, PacketKind,
-    SpatialGrid, UnitDisk,
+    ArenaTable, BeaconConfig, Delivery, LogNormalShadowing, Medium, MediumConfig, NeighborArena,
+    Packet, PacketKind, SpatialGrid, UnitDisk,
 };
 use vanet_routing::{Action, ActionSink, ProtocolContext, RoutingProtocol, TableLocationService};
-use vanet_sim::{FlowId, NodeId, PacketIdAllocator, Scheduler, SimRng, SimTime};
+use vanet_sim::{FlowId, NodeId, PacketIdAllocator, Scheduler, SimDuration, SimRng, SimTime};
 
 /// One constant-bit-rate application flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,12 +49,16 @@ enum Event {
     },
 }
 
+/// Per-node control state. Kinematics live in the simulation's
+/// structure-of-arrays (`states`/`positions`/`velocities`) and neighbour
+/// entries in the shared [`NeighborArena`], so this stays a few dozen bytes
+/// and the fleet's node array is cache-dense.
 struct NodeRuntime {
     id: NodeId,
     protocol: Box<dyn RoutingProtocol + Send>,
-    neighbors: vanet_net::NeighborTable,
+    /// Handle into the fleet-shared neighbour arena.
+    neighbors: ArenaTable,
     rng: SimRng,
-    state: VehicleState,
 }
 
 /// A complete, runnable simulation of one scenario with one protocol.
@@ -68,6 +72,19 @@ pub struct Simulation<T: Telemetry = NoTelemetry> {
     mobility: Box<dyn MobilityModel + Send>,
     mobility_rng: SimRng,
     nodes: Vec<NodeRuntime>,
+    /// Fleet-shared neighbour storage: every node's entries live in one
+    /// contiguous slab of index-linked blocks instead of a `Vec` per node,
+    /// so neighbour walks stay inside a few hot cache lines per node and
+    /// start-up makes one allocation instead of a million.
+    neighbor_arena: NeighborArena,
+    /// Structure-of-arrays kinematics, indexed by `NodeId::index()`. The
+    /// full per-node `VehicleState` backs protocol contexts; positions and
+    /// velocities are mirrored in dense arrays so the transmit / grid /
+    /// telemetry hot paths read 16-byte entries instead of striding over
+    /// whole node runtimes.
+    states: Vec<VehicleState>,
+    positions: Vec<Position>,
+    velocities: Vec<Velocity>,
     rsu_ids: Vec<NodeId>,
     bus_ids: Vec<NodeId>,
     medium: Medium,
@@ -165,8 +182,12 @@ impl<T: Telemetry> Simulation<T> {
             ));
         }
 
+        let node_count = vehicle_count + rsu_states.len();
         let mut location = TableLocationService::new();
-        let mut nodes = Vec::new();
+        let mut nodes = Vec::with_capacity(node_count);
+        let mut states = Vec::with_capacity(node_count);
+        let mut positions = Vec::with_capacity(node_count);
+        let mut velocities = Vec::with_capacity(node_count);
         let mut rsu_ids = Vec::new();
         let mut bus_ids = Vec::new();
         for state in vehicle_states.iter().chain(rsu_states.iter()) {
@@ -179,10 +200,12 @@ impl<T: Telemetry> Simulation<T> {
             nodes.push(NodeRuntime {
                 id: state.id,
                 protocol: factory(),
-                neighbors: vanet_net::NeighborTable::new(),
+                neighbors: ArenaTable::new(),
                 rng: master.derive_index("node", u64::from(state.id.0)),
-                state: *state,
             });
+            states.push(*state);
+            positions.push(state.position);
+            velocities.push(state.velocity);
         }
         let protocol_name = nodes
             .first()
@@ -197,7 +220,7 @@ impl<T: Telemetry> Simulation<T> {
                 sigma_db,
             )),
         };
-        let medium = Medium::new(
+        let mut medium = Medium::new(
             MediumConfig {
                 mac: scenario.mac,
                 promiscuous: true,
@@ -222,12 +245,36 @@ impl<T: Telemetry> Simulation<T> {
             }
         }
 
+        // Pre-size every hot-path container from the scenario itself, so a
+        // megacity-scale start-up makes its big allocations once instead of
+        // paying a reallocation ramp while the caches are cold. The expected
+        // neighbourhood is the uniform-density estimate `density × π r²`,
+        // capped at the fleet size.
+        let max_range = medium.propagation().max_range();
+        let area = (bounds.width() * bounds.height()).max(1.0);
+        let expected_neighbors =
+            ((node_count as f64 / area) * std::f64::consts::PI * max_range * max_range)
+                .ceil()
+                .min(node_count as f64);
+        // A 3×3-cell grid query covers 9 r² ≈ 2.9 π r², so the candidate
+        // buffers see roughly three neighbourhoods' worth of entries.
+        let expected_candidates = (expected_neighbors * 3.0) as usize + 16;
+        medium.reserve_for_neighborhood(expected_candidates);
+        let neighbor_arena = NeighborArena::with_block_capacity(NeighborArena::blocks_for(
+            node_count,
+            expected_neighbors,
+        ));
+
         let mut sim = Simulation {
             scheduler: Scheduler::with_horizon(SimTime::ZERO + scenario.duration),
             scenario,
             mobility,
             mobility_rng,
             nodes,
+            neighbor_arena,
+            states,
+            positions,
+            velocities,
             rsu_ids,
             bus_ids,
             medium,
@@ -239,16 +286,27 @@ impl<T: Telemetry> Simulation<T> {
             flows,
             beacon_config: BeaconConfig::default(),
             protocol_name,
-            sink: ActionSink::new(),
-            action_scratch: Vec::new(),
-            delivery_buf: Vec::new(),
-            lost_scratch: Vec::new(),
+            sink: ActionSink::with_capacity(32),
+            action_scratch: Vec::with_capacity(32),
+            delivery_buf: Vec::with_capacity(expected_neighbors as usize + 16),
+            lost_scratch: Vec::with_capacity(64),
             telemetry,
         };
         // Beacons and per-node maintenance deadlines go through the
         // scheduler's timer wheel: one slot per interval instead of one heap
         // entry per node.
         sim.scheduler.enable_batching(sim.beacon_config.interval);
+        // Packet arrivals land a MAC processing + contention delay ahead of
+        // now (sub-millisecond to a few tens of milliseconds), far denser
+        // than the wheel's beacon intervals: they get the calendar-queue
+        // tier — O(1) ring pushes instead of heap sifts. Anything beyond the
+        // 64 ms window falls back to the heap with ordering unchanged. The
+        // bucket width sits *below* the MAC's fixed processing + minimum
+        // backoff delay (0.5 ms), so a new arrival always lands in a
+        // not-yet-activated bucket and the sorted-splice slow path for
+        // already-activated buckets never runs in steady state.
+        sim.scheduler
+            .enable_calendar(SimDuration::from_secs(0.000_25), 256);
         sim.build_grid();
         sim.schedule_initial_events(&mut traffic_rng);
         sim
@@ -261,9 +319,10 @@ impl<T: Telemetry> Simulation<T> {
     /// them.
     fn build_grid(&mut self) {
         let positions: Vec<(NodeId, Position)> = self
-            .nodes
+            .positions
             .iter()
-            .map(|n| (n.id, n.state.position))
+            .enumerate()
+            .map(|(i, &pos)| (NodeId(i as u32), pos))
             .collect();
         self.grid = SpatialGrid::build(self.medium.propagation().max_range(), &positions);
     }
@@ -343,11 +402,11 @@ impl<T: Telemetry> Simulation<T> {
                 Event::PacketArrival {
                     receiver, packet, ..
                 } => {
-                    // Walk the exact lines the arrival's neighbour refresh
-                    // will touch (header, key scan, entry slot).
-                    warm ^= self.nodes[receiver.index()]
-                        .neighbors
-                        .warm_for(packet.prev_hop);
+                    // Walk the exact arena blocks the arrival's neighbour
+                    // refresh will touch (handle, key scan, entry slot).
+                    warm ^= self
+                        .neighbor_arena
+                        .warm_for(&self.nodes[receiver.index()].neighbors, packet.prev_hop);
                 }
                 Event::BackboneArrival { receiver, .. } => {
                     warm ^= self.nodes[receiver.index()].neighbors.len();
@@ -406,11 +465,13 @@ impl<T: Telemetry> Simulation<T> {
                 // of the mobility model and simply stay in their cells.
                 for state in self.mobility.states() {
                     let idx = state.id.index();
-                    let old_pos = self.nodes[idx].state.position;
+                    let old_pos = self.positions[idx];
                     if old_pos != state.position {
                         self.grid.update(state.id, old_pos, state.position);
                     }
-                    self.nodes[idx].state = *state;
+                    self.states[idx] = *state;
+                    self.positions[idx] = state.position;
+                    self.velocities[idx] = state.velocity;
                     self.location.set(state.id, state.position, state.velocity);
                 }
                 self.scheduler
@@ -425,7 +486,8 @@ impl<T: Telemetry> Simulation<T> {
                 let idx = self.node_index(node_id);
                 let mut lost = std::mem::take(&mut self.lost_scratch);
                 lost.clear();
-                self.nodes[idx].neighbors.purge_due(now, &mut lost);
+                self.neighbor_arena
+                    .purge_due(&mut self.nodes[idx].neighbors, now, &mut lost);
                 if !lost.is_empty() {
                     self.telemetry.on_neighbor_lost(now, lost.len());
                 }
@@ -447,8 +509,8 @@ impl<T: Telemetry> Simulation<T> {
                 let mut hello = Packet::broadcast(node_id, PacketKind::Hello, 0);
                 hello.id = self.packet_ids.allocate();
                 hello.created_at = now;
-                hello.sender_position = Some(self.nodes[idx].state.position);
-                hello.sender_velocity = Some(self.nodes[idx].state.velocity);
+                hello.sender_position = Some(self.positions[idx]);
+                hello.sender_velocity = Some(self.velocities[idx]);
                 self.transmit(idx, now, hello);
                 let jitter = 1.0
                     + self.beacon_config.jitter_fraction * (self.nodes[idx].rng.uniform() - 0.5);
@@ -479,16 +541,19 @@ impl<T: Telemetry> Simulation<T> {
                 // transmitter (overhearing counts as neighbour awareness).
                 if let (Some(pos), Some(vel)) = (packet.sender_position, packet.sender_velocity) {
                     let lifetime = self.beacon_config.lifetime;
-                    let gained =
-                        self.nodes[idx]
-                            .neighbors
-                            .observe(packet.prev_hop, pos, vel, now, lifetime);
+                    let gained = self.neighbor_arena.observe(
+                        &mut self.nodes[idx].neighbors,
+                        packet.prev_hop,
+                        pos,
+                        vel,
+                        now,
+                        lifetime,
+                    );
                     if gained {
                         self.telemetry.on_neighbor_gained(now);
                     }
                 }
-                self.telemetry
-                    .on_receive(now, self.nodes[idx].state.position);
+                self.telemetry.on_receive(now, self.positions[idx]);
                 if packet.kind == PacketKind::Hello {
                     return;
                 }
@@ -513,8 +578,8 @@ impl<T: Telemetry> Simulation<T> {
         let mut ctx = ProtocolContext {
             node: node.id,
             now,
-            state: &node.state,
-            neighbors: &node.neighbors,
+            state: &self.states[idx],
+            neighbors: self.neighbor_arena.view(&node.neighbors),
             range_m,
             rsu_ids: &self.rsu_ids,
             bus_ids: &self.bus_ids,
@@ -534,7 +599,7 @@ impl<T: Telemetry> Simulation<T> {
             packet.is_control(),
         );
         let sender_id = self.nodes[sender_idx].id;
-        let sender_pos = self.nodes[sender_idx].state.position;
+        let sender_pos = self.positions[sender_idx];
         self.telemetry
             .on_transmit(now, sender_pos, packet.size_bytes(), packet.is_control());
         let mut deliveries = std::mem::take(&mut self.delivery_buf);
@@ -599,7 +664,7 @@ impl<T: Telemetry> Simulation<T> {
                 Action::Drop { reason, .. } => {
                     self.metrics.record_drop(reason);
                     self.telemetry
-                        .on_drop(now, self.nodes[node_idx].state.position, reason);
+                        .on_drop(now, self.positions[node_idx], reason);
                 }
                 Action::BackboneSend { to, packet } => {
                     let from = self.nodes[node_idx].id;
@@ -617,7 +682,7 @@ impl<T: Telemetry> Simulation<T> {
                         self.metrics.record_drop(vanet_routing::DropReason::NoRoute);
                         self.telemetry.on_drop(
                             now,
-                            self.nodes[node_idx].state.position,
+                            self.positions[node_idx],
                             vanet_routing::DropReason::NoRoute,
                         );
                     }

@@ -54,7 +54,19 @@ impl SpatialGrid {
             cell_m.is_finite() && cell_m > 0.0,
             "grid cell size must be positive and finite"
         );
-        let mut buckets: HashMap<(i64, i64), Vec<(NodeId, Position)>> = HashMap::new();
+        // Two passes: count cell occupancy first, then place. At megacity
+        // scale the counting pass lets every bucket (and the map itself) be
+        // allocated exactly once instead of growing organically through
+        // ~log(occupancy) reallocations per cell.
+        let mut occupancy: HashMap<(i64, i64), usize> = HashMap::with_capacity(nodes.len());
+        for &(_, pos) in nodes {
+            *occupancy.entry(Self::cell_of(cell_m, pos)).or_insert(0) += 1;
+        }
+        let mut buckets: HashMap<(i64, i64), Vec<(NodeId, Position)>> =
+            HashMap::with_capacity(occupancy.len());
+        for (cell, count) in occupancy {
+            buckets.insert(cell, Vec::with_capacity(count));
+        }
         for &(id, pos) in nodes {
             buckets
                 .entry(Self::cell_of(cell_m, pos))

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod channel;
 pub mod grid;
 pub mod mac;
@@ -36,6 +37,7 @@ pub mod medium;
 pub mod neighbor;
 pub mod packet;
 
+pub use arena::{ArenaTable, NeighborArena, NeighborView};
 pub use channel::{FreeSpacePathLoss, LogNormalShadowing, PropagationModel, UnitDisk};
 pub use grid::SpatialGrid;
 pub use mac::MacParams;

@@ -275,6 +275,17 @@ impl Medium {
         }
     }
 
+    /// Pre-sizes the per-transmission scratch buffers for a neighbourhood of
+    /// `expected_candidates` nodes (the typical 3×3-cell grid query result).
+    /// Purely a capacity hint — the buffers grow on demand regardless — but
+    /// reserving up front means a fleet-scale run's first transmissions don't
+    /// pay a reallocation ramp while the caches are already cold.
+    pub fn reserve_for_neighborhood(&mut self, expected_candidates: usize) {
+        self.candidates.reserve(expected_candidates);
+        self.candidate_scratch.reserve(expected_candidates);
+        self.snapshot.reserve(expected_candidates);
+    }
+
     /// The largest distance at which a recent transmission can matter to any
     /// receiver of a frame: every receiver lies within `max_range` of the
     /// sender, interference reaches `2 × nominal_range`, and the extra metre

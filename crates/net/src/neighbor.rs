@@ -313,6 +313,13 @@ impl NeighborTable {
         self.entries.iter()
     }
 
+    /// The entries as one contiguous slice, ascending by id — the concrete
+    /// form [`NeighborView`](crate::NeighborView) wraps.
+    #[must_use]
+    pub fn as_slice(&self) -> &[NeighborInfo] {
+        &self.entries
+    }
+
     /// Number of neighbours.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -231,7 +231,7 @@ mod tests {
                 node: NodeId($node),
                 now: SimTime::ZERO,
                 state: &$state,
-                neighbors: &$nbrs,
+                neighbors: (&$nbrs).into(),
                 range_m: 250.0,
                 rsu_ids: &[],
                 bus_ids: &[],

@@ -434,7 +434,7 @@ mod tests {
                 node: self.state.id,
                 now: SimTime::from_secs(now),
                 state: &self.state,
-                neighbors: &self.neighbors,
+                neighbors: (&self.neighbors).into(),
                 range_m: 250.0,
                 rsu_ids: &self.rsus,
                 bus_ids: &self.buses,

@@ -295,7 +295,7 @@ mod tests {
             node: state.id,
             now: SimTime::from_secs(1.0),
             state,
-            neighbors,
+            neighbors: neighbors.into(),
             range_m: 250.0,
             rsu_ids: &[],
             bus_ids: &[],

@@ -11,7 +11,7 @@
 
 use std::fmt;
 use vanet_mobility::{Position, VehicleState, Velocity};
-use vanet_net::{NeighborTable, Packet};
+use vanet_net::{NeighborView, Packet};
 use vanet_sim::{NodeId, PacketId, PacketIdAllocator, SimDuration, SimRng, SimTime};
 
 /// The five routing families of the paper's taxonomy (Fig. 1).
@@ -121,6 +121,16 @@ impl ActionSink {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty sink with room for `capacity` queued actions, so the
+    /// first callbacks of a fleet-scale run don't grow the buffer while the
+    /// caches are cold.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            actions: Vec::with_capacity(capacity),
+        }
     }
 
     /// Queues a frame for transmission on the wireless medium.
@@ -264,8 +274,10 @@ pub struct ProtocolContext<'a> {
     pub now: SimTime,
     /// The node's own kinematic state.
     pub state: &'a VehicleState,
-    /// The node's neighbour table (maintained by the beaconing service).
-    pub neighbors: &'a NeighborTable,
+    /// The node's neighbour table (maintained by the beaconing service):
+    /// a read-only view over either the reference [`vanet_net::NeighborTable`]
+    /// or the fleet-shared [`vanet_net::NeighborArena`].
+    pub neighbors: NeighborView<'a>,
     /// Nominal radio range in metres.
     pub range_m: f64,
     /// Ids of the road-side units deployed in the scenario, sorted ascending
@@ -396,6 +408,7 @@ pub trait RoutingProtocol: fmt::Debug {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vanet_net::NeighborTable;
 
     #[test]
     fn category_display_and_order() {
@@ -469,7 +482,7 @@ mod tests {
             node: NodeId(3),
             now: SimTime::ZERO,
             state: &state,
-            neighbors: &neighbors,
+            neighbors: (&neighbors).into(),
             range_m: 250.0,
             rsu_ids: &[],
             bus_ids: &[],

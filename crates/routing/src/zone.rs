@@ -250,7 +250,7 @@ mod tests {
                 node: self.state.id,
                 now: SimTime::from_secs(now),
                 state: &self.state,
-                neighbors: &self.neighbors,
+                neighbors: (&self.neighbors).into(),
                 range_m: 250.0,
                 rsu_ids: &[],
                 bus_ids: &[],

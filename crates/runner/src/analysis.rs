@@ -337,13 +337,26 @@ fn bench_rates(text: &str) -> (Option<f64>, Option<f64>) {
     (baseline, current)
 }
 
-fn bench_trend_report(files: &[String], gate_ratio: f64) -> Result<(String, usize), String> {
+/// One bench file's peak-RSS reading (`baseline_peak_rss_bytes`,
+/// `current_peak_rss_bytes`).
+fn bench_rss(text: &str) -> (Option<f64>, Option<f64>) {
+    (
+        json_number(text, "baseline_peak_rss_bytes"),
+        json_number(text, "current_peak_rss_bytes"),
+    )
+}
+
+fn bench_trend_report(
+    files: &[String],
+    gate_ratio: f64,
+    rss_gate_ratio: f64,
+) -> Result<(String, usize), String> {
     let mut out = format!(
-        "bench trend: {} file(s), gate ratio {gate_ratio:.2}\n",
+        "bench trend: {} file(s), gate ratio {gate_ratio:.2}, rss gate ratio {rss_gate_ratio:.2}\n",
         files.len()
     );
     let mut regressions = 0;
-    let mut trajectory: Vec<(String, f64)> = Vec::new();
+    let mut trajectory: Vec<(String, String, f64)> = Vec::new();
     for file in files {
         let text = std::fs::read_to_string(file)
             .map_err(|error| format!("cannot read {file}: {error}"))?;
@@ -373,13 +386,49 @@ fn bench_trend_report(files: &[String], gate_ratio: f64) -> Result<(String, usiz
             _ => return Err(format!("{file} holds no events/sec measurement")),
         };
         out.push_str(&line);
+        // Throughput wins that come from trading away memory are not wins at
+        // megacity scale: peak RSS is gated alongside events/sec, in the
+        // opposite direction (a *rise* past the ratio regresses).
+        if let (Some(rb), Some(rc)) = bench_rss(&text) {
+            if rb > 0.0 {
+                let ratio = rc / rb;
+                let verdict = if ratio > rss_gate_ratio {
+                    regressions += 1;
+                    "RSS-REGRESSED"
+                } else {
+                    "OK"
+                };
+                out.push_str(&format!(
+                    "{file} [{workload}]: peak RSS baseline {:.1} MiB, current {:.1} MiB, \
+                     ratio {ratio:.2} -> {verdict}\n",
+                    rb / (1024.0 * 1024.0),
+                    rc / (1024.0 * 1024.0),
+                ));
+            }
+        }
         if let Some(c) = current.or(baseline) {
-            trajectory.push((file.clone(), c));
+            trajectory.push((file.clone(), workload, c));
         }
     }
-    if trajectory.len() >= 2 {
-        let (first_file, first) = &trajectory[0];
-        let (last_file, last) = &trajectory[trajectory.len() - 1];
+    // Chain current rates across files into a trajectory verdict — but only
+    // within a workload: events/sec at megacity-10k and megacity-1M are
+    // different units, and chaining them would flag the scale-up itself as
+    // a regression.
+    let mut seen: Vec<&str> = Vec::new();
+    for (_, workload, _) in &trajectory {
+        if seen.contains(&workload.as_str()) {
+            continue;
+        }
+        seen.push(workload);
+        let same: Vec<&(String, String, f64)> = trajectory
+            .iter()
+            .filter(|(_, w, _)| w == workload)
+            .collect();
+        if same.len() < 2 {
+            continue;
+        }
+        let (first_file, _, first) = same[0];
+        let (last_file, _, last) = same[same.len() - 1];
         if *first > 0.0 {
             let ratio = last / first;
             let verdict = if ratio < gate_ratio {
@@ -389,7 +438,8 @@ fn bench_trend_report(files: &[String], gate_ratio: f64) -> Result<(String, usiz
                 "OK"
             };
             out.push_str(&format!(
-                "trajectory {first_file} -> {last_file}: ratio {ratio:.2} -> {verdict}\n"
+                "trajectory [{workload}] {first_file} -> {last_file}: \
+                 ratio {ratio:.2} -> {verdict}\n"
             ));
         }
     }
@@ -407,6 +457,9 @@ vanet-campaign analyze — verdicts from campaign artifacts
   analyze --bench-trend FILE [FILE...]    baseline->current regression check
           [--gate-ratio R]                per file and across files
                                           (default gate: 0.9)
+          [--rss-gate-ratio R]            fail when current peak RSS exceeds
+                                          baseline by more than R
+                                          (default: 1.5)
 
 Modes compose: each requested section is appended to the output.";
 
@@ -419,6 +472,7 @@ pub fn run_analyze(args: &[String]) -> Result<AnalyzeReport, String> {
     let mut bench_files: Vec<String> = Vec::new();
     let mut metric = "delivery_ratio".to_owned();
     let mut gate_ratio = 0.9_f64;
+    let mut rss_gate_ratio = 1.5_f64;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -437,6 +491,12 @@ pub fn run_analyze(args: &[String]) -> Result<AnalyzeReport, String> {
                 gate_ratio = raw
                     .parse()
                     .map_err(|_| format!("--gate-ratio needs a number, got {raw:?}"))?;
+            }
+            "--rss-gate-ratio" => {
+                let raw = value("--rss-gate-ratio")?;
+                rss_gate_ratio = raw
+                    .parse()
+                    .map_err(|_| format!("--rss-gate-ratio needs a number, got {raw:?}"))?;
             }
             "--bench-trend" => {
                 bench_files.push(value("--bench-trend")?);
@@ -472,7 +532,7 @@ pub fn run_analyze(args: &[String]) -> Result<AnalyzeReport, String> {
         sections.push(regions_csv(Path::new(dir))?);
     }
     if !bench_files.is_empty() {
-        let (text, failed) = bench_trend_report(&bench_files, gate_ratio)?;
+        let (text, failed) = bench_trend_report(&bench_files, gate_ratio, rss_gate_ratio)?;
         sections.push(text);
         regressions += failed;
     }
@@ -578,6 +638,115 @@ mod tests {
         );
         // File regression + trajectory regression (105k -> 50k).
         assert_eq!(report.regressions, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_trend_gates_peak_rss() {
+        let dir = std::env::temp_dir().join(format!("vanet-rss-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Throughput improves, but peak RSS doubles: the default 1.5 RSS
+        // gate must flag it even though the events/sec gate passes.
+        let bloated = dir.join("BENCH_bloated.json");
+        std::fs::write(
+            &bloated,
+            "{\n  \"scenario\": \"megacity-10000\",\n  \"protocol\": \"Greedy\",\n  \
+             \"baseline_events_per_sec\": 100000,\n  \
+             \"current_events_per_sec\": 120000,\n  \
+             \"baseline_peak_rss_bytes\": 104857600,\n  \
+             \"current_peak_rss_bytes\": 209715200\n}\n",
+        )
+        .unwrap();
+        let argv = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec!["--bench-trend".to_owned(), bloated.display().to_string()];
+            v.extend(extra.iter().map(|s| (*s).to_owned()));
+            v
+        };
+
+        let report = run_analyze(&argv(&[])).unwrap();
+        assert!(report.text.contains("ratio 1.20 -> OK"));
+        assert!(
+            report
+                .text
+                .contains("peak RSS baseline 100.0 MiB, current 200.0 MiB"),
+            "RSS line missing: {}",
+            report.text
+        );
+        assert!(report.text.contains("ratio 2.00 -> RSS-REGRESSED"));
+        assert_eq!(report.regressions, 1);
+
+        // A loose gate lets the same file through.
+        let loose = run_analyze(&argv(&["--rss-gate-ratio", "2.5"])).unwrap();
+        assert!(loose.text.contains("ratio 2.00 -> OK"));
+        assert_eq!(loose.regressions, 0);
+
+        // Files without RSS fields simply skip the RSS check.
+        let bare = dir.join("BENCH_bare.json");
+        std::fs::write(
+            &bare,
+            "{\n  \"scenario\": \"megacity-10000\",\n  \"protocol\": \"Greedy\",\n  \
+             \"baseline_events_per_sec\": 100000,\n  \
+             \"current_events_per_sec\": 100000\n}\n",
+        )
+        .unwrap();
+        let none = run_analyze(&["--bench-trend".to_owned(), bare.display().to_string()]).unwrap();
+        assert!(!none.text.contains("peak RSS"));
+        assert_eq!(none.regressions, 0);
+
+        // Malformed ratios are rejected up front.
+        assert!(run_analyze(&argv(&["--rss-gate-ratio", "fast"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_trend_chains_only_matching_workloads() {
+        let dir = std::env::temp_dir().join(format!("vanet-trend-mix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, scenario: &str, current: u64| {
+            let path = dir.join(name);
+            std::fs::write(
+                &path,
+                format!(
+                    "{{\n  \"scenario\": \"{scenario}\",\n  \"protocol\": \"Greedy\",\n  \
+                     \"baseline_events_per_sec\": {current},\n  \
+                     \"current_events_per_sec\": {current}\n}}\n"
+                ),
+            )
+            .unwrap();
+            path.display().to_string()
+        };
+        // A 10k file followed by a 1M file: events/sec at different scales
+        // are different units, so no trajectory line may chain them even
+        // though the ratio (0.33) would trip the gate.
+        let small = write("BENCH_small.json", "megacity-10000", 1_200_000);
+        let big = write("BENCH_big.json", "megacity-1000000", 400_000);
+        let mixed = run_analyze(&["--bench-trend".to_owned(), small.clone(), big.clone()]).unwrap();
+        assert!(
+            !mixed.text.contains("trajectory"),
+            "mixed workloads must not chain: {}",
+            mixed.text
+        );
+        assert_eq!(mixed.regressions, 0);
+
+        // Two files of the same workload interleaved with the other scale
+        // still chain (and here, regress).
+        let small2 = write("BENCH_small2.json", "megacity-10000", 600_000);
+        let argv = vec![
+            "--bench-trend".to_owned(),
+            small.clone(),
+            big,
+            small2.clone(),
+        ];
+        let chained = run_analyze(&argv).unwrap();
+        assert!(
+            chained.text.contains(&format!(
+                "trajectory [megacity-10000/Greedy] {small} -> {small2}"
+            )),
+            "same-workload chain missing: {}",
+            chained.text
+        );
+        assert!(chained.text.contains("ratio 0.50 -> REGRESSED"));
+        assert_eq!(chained.regressions, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

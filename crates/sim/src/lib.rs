@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod error;
 pub mod event;
 pub mod hash;
@@ -37,6 +38,7 @@ pub mod time;
 pub mod wheel;
 pub mod window;
 
+pub use calendar::CalendarQueue;
 pub use error::SimError;
 pub use event::{EventEntry, EventHandle, EventQueue};
 pub use hash::{stable_hash_str, StableHasher};
