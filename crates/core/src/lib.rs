@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod plan;
 pub mod scenario;
@@ -34,6 +35,7 @@ pub use experiment::{
     average_reports, render_csv, render_table, run_averaged, run_matrix, run_matrix_with_workers,
     ExperimentCell,
 };
+pub use fault::{Fault, FaultKind, FaultPlan, FaultPlanError};
 pub use metrics::{Metrics, Report};
 pub use plan::{CampaignPlan, PlanCell, PlanJob, ReplicationPolicy};
 pub use scenario::{ChannelModel, RoadLayout, Scenario, TrafficRegime};

@@ -1,6 +1,7 @@
 //! Scenario configuration: traffic regime, road layout, radio, infrastructure
 //! and application traffic.
 
+use crate::fault::FaultPlan;
 use vanet_mobility::{HighwayBuilder, MobilityModel, UrbanGridBuilder};
 use vanet_net::MacParams;
 use vanet_sim::{SimDuration, SimRng};
@@ -70,7 +71,7 @@ impl std::fmt::Display for TrafficRegime {
 }
 
 /// Complete configuration of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario name (used in reports).
     pub name: String,
@@ -102,6 +103,38 @@ pub struct Scenario {
     pub mobility_step: SimDuration,
     /// Protocol maintenance tick interval.
     pub tick_interval: SimDuration,
+    /// Scheduled deterministic disruptions (empty by default).
+    pub faults: FaultPlan,
+}
+
+/// Hand-rolled to match the derived rendering field-for-field, but omitting
+/// `faults` when the plan is empty. The content hash is computed over this
+/// rendering, so an empty plan keeps every pre-fault-support scenario hash —
+/// and therefore every cached campaign result — byte-identical, while any
+/// non-empty plan invalidates the affected cache entries.
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("Scenario");
+        s.field("name", &self.name)
+            .field("seed", &self.seed)
+            .field("layout", &self.layout)
+            .field("radio_range_m", &self.radio_range_m)
+            .field("channel", &self.channel)
+            .field("mac", &self.mac)
+            .field("rsu_count", &self.rsu_count)
+            .field("backbone_latency", &self.backbone_latency)
+            .field("flows", &self.flows)
+            .field("packet_interval", &self.packet_interval)
+            .field("payload_bytes", &self.payload_bytes)
+            .field("duration", &self.duration)
+            .field("warmup", &self.warmup)
+            .field("mobility_step", &self.mobility_step)
+            .field("tick_interval", &self.tick_interval);
+        if !self.faults.is_empty() {
+            s.field("faults", &self.faults);
+        }
+        s.finish()
+    }
 }
 
 impl Default for Scenario {
@@ -122,6 +155,7 @@ impl Default for Scenario {
             warmup: SimDuration::from_secs(5.0),
             mobility_step: SimDuration::from_secs(0.5),
             tick_interval: SimDuration::from_secs(1.0),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -243,6 +277,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the fault plan (scheduled deterministic disruptions).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Sets how many buses are among the vehicles (highway/urban builders).
     #[must_use]
     pub fn with_buses(mut self, buses: usize) -> Self {
@@ -353,6 +394,8 @@ mod tests {
             base.clone().with_buses(1),
             base.clone()
                 .with_duration(vanet_sim::SimDuration::from_secs(1.0)),
+            base.clone()
+                .with_faults(FaultPlan::new().node_outage(3, 5.0, 10.0)),
         ] {
             assert_ne!(
                 base.content_hash(),
@@ -366,5 +409,27 @@ mod tests {
     fn buses_can_be_added() {
         let s = Scenario::highway(20).with_buses(2);
         assert_eq!(s.vehicle_count(), 20);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_invisible_to_hash_and_debug() {
+        let base = Scenario::highway(40);
+        let explicit_empty = base.clone().with_faults(FaultPlan::default());
+        assert_eq!(base.content_hash(), explicit_empty.content_hash());
+        let rendered = format!("{base:?}");
+        assert!(
+            !rendered.contains("faults"),
+            "empty plan must be omitted from Debug: {rendered}"
+        );
+        // A non-empty plan appears in the rendering (and thus the hash), and
+        // two different plans hash differently.
+        let jammed = base
+            .clone()
+            .with_faults(FaultPlan::new().jam(0, 0.9, 0.0, 10.0));
+        assert!(format!("{jammed:?}").contains("faults"));
+        let outage = base
+            .clone()
+            .with_faults(FaultPlan::new().node_outage(1, 0.0, 10.0));
+        assert_ne!(jammed.content_hash(), outage.content_hash());
     }
 }

@@ -2,6 +2,7 @@
 //! service, application traffic and one routing-protocol instance per node,
 //! and collects the metrics every experiment is built from.
 
+use crate::fault::FaultKind;
 use crate::metrics::{Metrics, Report};
 use crate::scenario::{ChannelModel, Scenario};
 use crate::taxonomy::ProtocolKind;
@@ -47,6 +48,26 @@ enum Event {
         receiver: NodeId,
         packet: Arc<Packet>,
     },
+    /// A scheduled fault transition: index into the pre-built fault
+    /// timeline. Fault transitions are first-class events riding the same
+    /// `(time, seq)` discipline as everything else, so runs with a fault
+    /// plan are deterministic across runs, workers and shards.
+    Fault(usize),
+}
+
+/// One pre-resolved fault transition (what `Event::Fault` executes).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    /// Node's radio goes dark (vehicle or RSU outage begins).
+    NodeDown(NodeId),
+    /// Node's radio recovers.
+    NodeUp(NodeId),
+    /// A medium fault-overlay zone (jam / burst loss) activates.
+    ZoneOn(usize),
+    /// A medium fault-overlay zone deactivates.
+    ZoneOff(usize),
+    /// A chaos fault: panic the worker, deterministically.
+    Poison,
 }
 
 /// Per-node control state. Kinematics live in the simulation's
@@ -112,6 +133,14 @@ pub struct Simulation<T: Telemetry = NoTelemetry> {
     /// Reusable buffer for expired-neighbour ids during a maintenance event
     /// (ping-ponged around `dispatch`, so purges allocate nothing).
     lost_scratch: Vec<NodeId>,
+    /// Pre-resolved fault transitions, scheduled as `Event::Fault(index)`.
+    fault_timeline: Vec<(SimTime, FaultAction)>,
+    /// Per-node outage flag, indexed by `NodeId::index()`. Only consulted
+    /// when `faults_enabled`, so fault-free runs pay one branch on a
+    /// false bool per transmit/arrival.
+    node_down: Vec<bool>,
+    /// Whether the scenario has a non-empty fault plan.
+    faults_enabled: bool,
     /// Streaming observation tap (zero-sized no-op by default).
     telemetry: T,
 }
@@ -265,6 +294,80 @@ impl<T: Telemetry> Simulation<T> {
             expected_neighbors,
         ));
 
+        // Resolve the fault plan into a concrete timeline: node ids for
+        // outages, pre-registered medium overlay zones for jams and burst
+        // loss. Out-of-range targets and transitions at/after the horizon
+        // are dropped here, so the run loop never re-checks them. An empty
+        // plan builds nothing — the engine is byte-identical to one without
+        // fault support.
+        let faults_enabled = !scenario.faults.is_empty();
+        let mut fault_timeline: Vec<(SimTime, FaultAction)> = Vec::new();
+        if faults_enabled {
+            scenario
+                .faults
+                .validate()
+                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+            let horizon = SimTime::ZERO + scenario.duration;
+            let regions = scenario.faults.regions_per_axis;
+            let cell_w = bounds.width() / regions as f64;
+            let cell_h = bounds.height() / regions as f64;
+            for fault in &scenario.faults.faults {
+                let transition = match fault.kind {
+                    FaultKind::NodeOutage { node } => {
+                        if (node as usize) < vehicle_count {
+                            let id = NodeId(node);
+                            Some((FaultAction::NodeDown(id), FaultAction::NodeUp(id)))
+                        } else {
+                            None
+                        }
+                    }
+                    FaultKind::RsuOutage { rsu } => {
+                        if (rsu as usize) < scenario.rsu_count {
+                            let id = NodeId((vehicle_count + rsu as usize) as u32);
+                            Some((FaultAction::NodeDown(id), FaultAction::NodeUp(id)))
+                        } else {
+                            None
+                        }
+                    }
+                    FaultKind::Jam { region, loss } => {
+                        let rx = region as usize % regions;
+                        let ry = region as usize / regions;
+                        let min = Position::new(
+                            bounds.min.x + rx as f64 * cell_w,
+                            bounds.min.y + ry as f64 * cell_h,
+                        );
+                        let max = Position::new(min.x + cell_w, min.y + cell_h);
+                        let slot = medium.add_fault_zone(min, max, loss);
+                        Some((FaultAction::ZoneOn(slot), FaultAction::ZoneOff(slot)))
+                    }
+                    FaultKind::BurstLoss { loss } => {
+                        let everywhere = f64::INFINITY;
+                        let slot = medium.add_fault_zone(
+                            Position::new(-everywhere, -everywhere),
+                            Position::new(everywhere, everywhere),
+                            loss,
+                        );
+                        Some((FaultAction::ZoneOn(slot), FaultAction::ZoneOff(slot)))
+                    }
+                    // A poison never recovers, so the up action is never
+                    // scheduled (its window end is infinite by construction).
+                    FaultKind::Poison => Some((FaultAction::Poison, FaultAction::Poison)),
+                };
+                if let Some((down, up)) = transition {
+                    let start = SimTime::ZERO + SimDuration::from_secs(fault.start_s);
+                    if start < horizon {
+                        fault_timeline.push((start, down));
+                        if fault.end_s.is_finite() {
+                            let end = SimTime::ZERO + SimDuration::from_secs(fault.end_s);
+                            if end < horizon {
+                                fault_timeline.push((end, up));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         let mut sim = Simulation {
             scheduler: Scheduler::with_horizon(SimTime::ZERO + scenario.duration),
             scenario,
@@ -290,6 +393,9 @@ impl<T: Telemetry> Simulation<T> {
             action_scratch: Vec::with_capacity(32),
             delivery_buf: Vec::with_capacity(expected_neighbors as usize + 16),
             lost_scratch: Vec::with_capacity(64),
+            fault_timeline,
+            node_down: vec![false; node_count],
+            faults_enabled,
             telemetry,
         };
         // Beacons and per-node maintenance deadlines go through the
@@ -350,6 +456,15 @@ impl<T: Telemetry> Simulation<T> {
             let offset = self.scenario.warmup
                 + self.scenario.packet_interval * traffic_rng.uniform_range(0.0, 1.0);
             self.scheduler.schedule_after(offset, Event::FlowSend(i));
+        }
+        // Fault transitions are scheduled last, and only for a non-empty
+        // plan, so the sequence numbers of every other initial event — and
+        // with them the entire fault-free event order — are unchanged.
+        for index in 0..self.fault_timeline.len() {
+            let (time, _) = self.fault_timeline[index];
+            self.scheduler
+                .schedule_at(time, Event::Fault(index))
+                .expect("fault times are validated non-negative");
         }
     }
 
@@ -414,7 +529,7 @@ impl<T: Telemetry> Simulation<T> {
                 Event::Beacon(id) | Event::Maintain(id) => {
                     warm ^= self.nodes[id.index()].neighbors.len();
                 }
-                Event::MobilityStep | Event::FlowSend(_) => {}
+                Event::MobilityStep | Event::FlowSend(_) | Event::Fault(_) => {}
             }
         }
         std::hint::black_box(warm);
@@ -453,6 +568,14 @@ impl<T: Telemetry> Simulation<T> {
 
     fn node_index(&self, id: NodeId) -> usize {
         id.index()
+    }
+
+    /// Whether `idx`'s radio is currently disabled by a scheduled fault.
+    /// `faults_enabled` short-circuits first, so fault-free runs pay a
+    /// single always-false branch.
+    #[inline]
+    fn node_is_down(&self, idx: usize) -> bool {
+        self.faults_enabled && self.node_down[idx]
     }
 
     fn handle_event(&mut self, now: SimTime, event: Event) {
@@ -537,6 +660,14 @@ impl<T: Telemetry> Simulation<T> {
                 intended,
             } => {
                 let idx = self.node_index(receiver);
+                // A frame arriving at a node whose radio a fault disabled is
+                // silently lost: no reception, no neighbour refresh — the
+                // protocol only ever observes the outage as missing frames
+                // and expiring neighbour leases.
+                if self.node_is_down(idx) {
+                    self.telemetry.on_fault_drop(now, self.positions[idx]);
+                    return;
+                }
                 // Every received frame refreshes the neighbour entry for its
                 // transmitter (overhearing counts as neighbour awareness).
                 if let (Some(pos), Some(vel)) = (packet.sender_position, packet.sender_velocity) {
@@ -561,7 +692,39 @@ impl<T: Telemetry> Simulation<T> {
             }
             Event::BackboneArrival { receiver, packet } => {
                 let idx = self.node_index(receiver);
+                if self.node_is_down(idx) {
+                    self.telemetry.on_fault_drop(now, self.positions[idx]);
+                    return;
+                }
                 self.dispatch(idx, now, |p, ctx| p.on_packet(ctx, &packet, false));
+            }
+            Event::Fault(index) => {
+                let (_, action) = self.fault_timeline[index];
+                match action {
+                    FaultAction::NodeDown(id) => {
+                        self.node_down[id.index()] = true;
+                        self.telemetry.on_outage(now, true);
+                    }
+                    FaultAction::NodeUp(id) => {
+                        self.node_down[id.index()] = false;
+                        self.telemetry.on_outage(now, false);
+                    }
+                    FaultAction::ZoneOn(slot) => {
+                        self.medium.set_fault_zone_active(slot, true);
+                        self.telemetry.on_outage(now, true);
+                    }
+                    FaultAction::ZoneOff(slot) => {
+                        self.medium.set_fault_zone_active(slot, false);
+                        self.telemetry.on_outage(now, false);
+                    }
+                    FaultAction::Poison => {
+                        panic!(
+                            "poison fault fired at {:.3}s in scenario '{}'",
+                            now.as_secs(),
+                            self.scenario.name
+                        );
+                    }
+                }
             }
         }
     }
@@ -593,6 +756,14 @@ impl<T: Telemetry> Simulation<T> {
     }
 
     fn transmit(&mut self, sender_idx: usize, now: SimTime, packet: Packet) {
+        // A down radio transmits nothing: the frame vanishes before it
+        // reaches the metrics or the medium, exactly as if the hardware
+        // were powered off.
+        if self.node_is_down(sender_idx) {
+            self.telemetry
+                .on_fault_drop(now, self.positions[sender_idx]);
+            return;
+        }
         self.metrics.record_transmission(
             packet.kind.name(),
             packet.size_bytes(),
@@ -668,7 +839,16 @@ impl<T: Telemetry> Simulation<T> {
                 }
                 Action::BackboneSend { to, packet } => {
                     let from = self.nodes[node_idx].id;
-                    if self.is_rsu(from) && self.is_rsu(to) {
+                    // A down RSU is detached from the wired backbone too, so
+                    // the send fails through the protocol's normal no-route
+                    // path (short-circuit: fault-free runs check nothing;
+                    // the is_rsu checks run first so `to` is known valid
+                    // before its outage flag is read).
+                    let backbone_ok = self.is_rsu(from)
+                        && self.is_rsu(to)
+                        && !self.node_is_down(node_idx)
+                        && !self.node_is_down(self.node_index(to));
+                    if backbone_ok {
                         self.metrics
                             .record_transmission("ISYNC", packet.size_bytes(), true);
                         self.scheduler.schedule_after(

@@ -108,6 +108,21 @@ pub trait Telemetry {
         let _ = (now, pos, reason);
     }
 
+    /// A frame or backbone message was discarded because a scheduled fault
+    /// (node/RSU outage) made its sender or receiver unavailable; `pos` is
+    /// where the discard happened.
+    #[inline]
+    fn on_fault_drop(&mut self, now: SimTime, pos: Position) {
+        let _ = (now, pos);
+    }
+
+    /// A scheduled fault transition fired: a node went down (`down = true`)
+    /// or recovered (`down = false`), or a jam/burst overlay toggled.
+    #[inline]
+    fn on_outage(&mut self, now: SimTime, down: bool) {
+        let _ = (now, down);
+    }
+
     /// `count` neighbour leases expired at a node's maintenance deadline.
     #[inline]
     fn on_neighbor_lost(&mut self, now: SimTime, count: usize) {
@@ -159,6 +174,12 @@ pub struct WindowRecord {
     pub neighbors_lost: u64,
     /// Neighbours newly inserted (links up).
     pub neighbors_gained: u64,
+    /// Frames/messages discarded because a scheduled fault disabled an
+    /// endpoint (node or RSU outage).
+    pub fault_drops: u64,
+    /// Scheduled fault transitions into the failed state (outage onsets,
+    /// jam/burst activations) in this window.
+    pub outages: u64,
     /// Medium activity attributed to this window (stats delta between the
     /// window's boundary snapshots): the channel-load record.
     pub medium: MediumStats,
@@ -298,10 +319,13 @@ impl WindowedTap {
             }
             hasher.write_u64(w.neighbors_lost);
             hasher.write_u64(w.neighbors_gained);
+            hasher.write_u64(w.fault_drops);
+            hasher.write_u64(w.outages);
             hasher.write_u64(w.medium.transmissions.value());
             hasher.write_u64(w.medium.deliveries.value());
             hasher.write_u64(w.medium.propagation_losses.value());
             hasher.write_u64(w.medium.collision_losses.value());
+            hasher.write_u64(w.medium.fault_losses.value());
             hasher.write_u64(w.medium.bytes_transmitted.value());
         }
         for region in &self.regions {
@@ -368,6 +392,20 @@ impl Telemetry for WindowedTap {
         self.current.drops[drop_reason_index(reason)] += 1;
         let region = self.region_of(pos);
         self.regions[region].drops += 1;
+    }
+
+    fn on_fault_drop(&mut self, now: SimTime, pos: Position) {
+        let _ = now;
+        self.current.fault_drops += 1;
+        let region = self.region_of(pos);
+        self.regions[region].drops += 1;
+    }
+
+    fn on_outage(&mut self, now: SimTime, down: bool) {
+        let _ = now;
+        if down {
+            self.current.outages += 1;
+        }
     }
 
     fn on_neighbor_lost(&mut self, now: SimTime, count: usize) {

@@ -1,0 +1,116 @@
+//! Deterministic fault injection, observed end to end.
+//!
+//! Faults ride the `(time, seq)` scheduler as first-class events; protocols
+//! never see them directly — only the usual loss and neighbour-expiry
+//! channels. These tests pin the three contracts the subsystem makes:
+//!
+//! * **determinism** — the same seed and fault plan is byte-identical across
+//!   repeated runs, for every protocol family the plan touches;
+//! * **visibility** — disruptions actually disrupt (a total burst blackout
+//!   delivers nothing; outages and jams register in telemetry);
+//! * **additivity** — fault machinery is inert until a fault fires (pinned
+//!   separately by the goldens in `golden_reports.rs`).
+
+use vanet_core::{run_scenario, FaultPlan, ProtocolKind, Scenario, Simulation, WindowedTap};
+use vanet_sim::SimDuration;
+
+fn faulty_scenario() -> Scenario {
+    Scenario::highway(24)
+        .with_seed(11)
+        .with_rsus(2)
+        .with_flows(3)
+        .with_duration(SimDuration::from_secs(20.0))
+        .with_faults(
+            FaultPlan::new()
+                .node_outage(3, 2.0, 8.0)
+                .rsu_outage(0, 5.0, 12.0)
+                .jam(5, 0.8, 4.0, 16.0)
+                .burst_loss(0.3, 10.0, 14.0),
+        )
+}
+
+#[test]
+fn same_seed_and_fault_plan_is_byte_identical_across_runs() {
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Aodv,
+        ProtocolKind::Greedy,
+        ProtocolKind::Drr,
+    ] {
+        let first = format!("{:?}", run_scenario(faulty_scenario(), kind));
+        let second = format!("{:?}", run_scenario(faulty_scenario(), kind));
+        assert_eq!(
+            first, second,
+            "{kind:?} diverged under an identical fault plan"
+        );
+    }
+}
+
+#[test]
+fn fault_plan_participates_in_the_content_hash() {
+    let plain = Scenario::highway(24).with_seed(11);
+    let faulty = Scenario::highway(24)
+        .with_seed(11)
+        .with_faults(FaultPlan::new().burst_loss(0.5, 1.0, 2.0));
+    assert_ne!(
+        plain.content_hash(),
+        faulty.content_hash(),
+        "a non-empty fault plan must invalidate cached results"
+    );
+}
+
+#[test]
+fn total_burst_blackout_delivers_nothing() {
+    let base = Scenario::highway(30)
+        .with_seed(7)
+        .with_rsus(2)
+        .with_flows(3)
+        .with_duration(SimDuration::from_secs(30.0));
+    let healthy = run_scenario(base.clone(), ProtocolKind::Flooding);
+    assert!(
+        healthy.data_delivered > 0,
+        "baseline must deliver something for the blackout to be observable"
+    );
+    let blacked_out = run_scenario(
+        base.with_faults(FaultPlan::new().burst_loss(1.0, 0.0, f64::INFINITY)),
+        ProtocolKind::Flooding,
+    );
+    assert_eq!(
+        blacked_out.data_delivered, 0,
+        "loss 1.0 for the whole run must black out every delivery"
+    );
+}
+
+#[test]
+fn outage_windows_degrade_but_do_not_crash_protocols() {
+    // Every protocol family must survive a scenario where nodes and an RSU
+    // die mid-run — failures arrive only via normal loss/expiry channels.
+    for kind in ProtocolKind::ALL {
+        let report = run_scenario(faulty_scenario(), kind);
+        assert!(
+            report.data_sent > 0,
+            "{kind:?} originated nothing under faults"
+        );
+    }
+}
+
+#[test]
+fn telemetry_observes_outages_and_fault_drops() {
+    let tap = WindowedTap::new(SimDuration::from_secs(1.0), 4);
+    let mut sim = Simulation::with_telemetry(faulty_scenario(), ProtocolKind::Flooding, tap);
+    let _report = sim.run();
+    let tap = sim.into_telemetry();
+    let outages: u64 = tap.windows().iter().map(|w| w.outages).sum();
+    // The plan schedules four disruption onsets: node outage, RSU outage,
+    // jam activation and burst activation.
+    assert_eq!(outages, 4, "every fault onset must register as an outage");
+    let fault_losses: u64 = tap
+        .windows()
+        .iter()
+        .map(|w| w.medium.fault_losses.value())
+        .sum();
+    assert!(
+        fault_losses > 0,
+        "a 0.8-loss jam plus a burst window must cost some frames"
+    );
+}

@@ -96,6 +96,28 @@ fn every_protocol_matches_its_pinned_report() {
     );
 }
 
+/// An *empty* fault plan must be invisible: attaching `FaultPlan::new()`
+/// explicitly schedules no events, draws no RNG, and changes no seq numbers,
+/// so every protocol must still match its pre-fault-support pin exactly.
+#[test]
+fn empty_fault_plan_is_byte_identical_for_every_protocol() {
+    let mut failures = Vec::new();
+    for (kind, pin) in ProtocolKind::ALL.into_iter().zip(PINS) {
+        let scenario = golden_scenario().with_faults(vanet_core::FaultPlan::new());
+        let report = run_scenario(scenario, kind);
+        let got = fingerprint(&report);
+        if got != *pin {
+            failures.push(format!("{kind:?}:\n  pinned: {pin}\n  got:    {got}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "an empty FaultPlan changed the engine for {} protocol(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// Prints the pin list for pasting into `PINS`. Run with `--ignored`.
 #[test]
 #[ignore = "generator, not a check"]

@@ -60,6 +60,8 @@ pub struct MediumStats {
     pub propagation_losses: Counter,
     /// Frame copies lost to collisions.
     pub collision_losses: Counter,
+    /// Frame copies lost to an active fault overlay (jamming / burst loss).
+    pub fault_losses: Counter,
     /// Total bytes handed to the medium (control + data).
     pub bytes_transmitted: Counter,
 }
@@ -82,6 +84,7 @@ impl MediumStats {
             deliveries: delta(self.deliveries, earlier.deliveries),
             propagation_losses: delta(self.propagation_losses, earlier.propagation_losses),
             collision_losses: delta(self.collision_losses, earlier.collision_losses),
+            fault_losses: delta(self.fault_losses, earlier.fault_losses),
             bytes_transmitted: delta(self.bytes_transmitted, earlier.bytes_transmitted),
         }
     }
@@ -97,6 +100,27 @@ impl MediumStats {
         } else {
             self.collision_losses.value() as f64 / attempts as f64
         }
+    }
+}
+
+/// A rectangular extra-loss overlay installed by the fault subsystem: while
+/// active, receivers standing inside `min..=max` lose each frame copy with
+/// probability `loss` (after propagation and collision have been resolved).
+/// Zones are pre-registered at build time and merely toggled by fault events,
+/// so the steady-state transmit path never allocates for them; when no zone
+/// is active the delivery pipeline pays a single integer compare.
+#[derive(Debug, Clone, Copy)]
+struct FaultZone {
+    min: Position,
+    max: Position,
+    loss: f64,
+    active: bool,
+}
+
+impl FaultZone {
+    #[inline]
+    fn covers(&self, pos: Position) -> bool {
+        pos.x >= self.min.x && pos.x <= self.max.x && pos.y >= self.min.y && pos.y <= self.max.y
     }
 }
 
@@ -255,6 +279,11 @@ pub struct Medium {
     candidates: Vec<(NodeId, Position)>,
     /// Scratch buffer for the grid query's run merge.
     candidate_scratch: Vec<(NodeId, Position)>,
+    /// Pre-registered fault overlay rectangles, toggled by fault events.
+    fault_zones: Vec<FaultZone>,
+    /// How many fault zones are currently active — the transmit path's only
+    /// cost when faults are disabled is comparing this against zero.
+    active_fault_zones: usize,
     stats: MediumStats,
 }
 
@@ -271,8 +300,47 @@ impl Medium {
             snapshot: Vec::new(),
             candidates: Vec::new(),
             candidate_scratch: Vec::new(),
+            fault_zones: Vec::new(),
+            active_fault_zones: 0,
             stats: MediumStats::default(),
         }
+    }
+
+    /// Registers a rectangular fault-overlay zone (inactive until toggled)
+    /// and returns its slot for [`Medium::set_fault_zone_active`]. Zones are
+    /// registered once at simulation build time, so the delivery pipeline
+    /// iterates a pre-sized, allocation-free vector.
+    pub fn add_fault_zone(&mut self, min: Position, max: Position, loss: f64) -> usize {
+        self.fault_zones.push(FaultZone {
+            min,
+            max,
+            loss,
+            active: false,
+        });
+        self.fault_zones.len() - 1
+    }
+
+    /// Activates or deactivates a registered fault zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not returned by [`Medium::add_fault_zone`].
+    pub fn set_fault_zone_active(&mut self, slot: usize, active: bool) {
+        let zone = &mut self.fault_zones[slot];
+        if zone.active != active {
+            zone.active = active;
+            if active {
+                self.active_fault_zones += 1;
+            } else {
+                self.active_fault_zones -= 1;
+            }
+        }
+    }
+
+    /// Number of currently active fault zones.
+    #[must_use]
+    pub fn active_fault_zone_count(&self) -> usize {
+        self.active_fault_zones
     }
 
     /// Pre-sizes the per-transmission scratch buffers for a neighbourhood of
@@ -490,6 +558,22 @@ impl Medium {
                 self.stats.collision_losses.incr();
                 continue;
             }
+            // Fault overlay: one combined-survival draw per candidate that
+            // stands inside at least one active zone. With no active zones
+            // this is a single integer compare and zero RNG draws, keeping
+            // fault-free runs byte-identical.
+            if self.active_fault_zones > 0 {
+                let mut survive = 1.0;
+                for zone in &self.fault_zones {
+                    if zone.active && zone.covers(pos) {
+                        survive *= 1.0 - zone.loss;
+                    }
+                }
+                if survive < 1.0 && rng.uniform() >= survive {
+                    self.stats.fault_losses.incr();
+                    continue;
+                }
+            }
             let arrival =
                 now + processing + backoff + tx_delay + self.config.mac.propagation_delay(d);
             self.stats.deliveries.incr();
@@ -689,6 +773,99 @@ mod tests {
         let m = medium_unit_disk(250.0);
         assert!(m.in_range(Vec2::ZERO, Vec2::new(200.0, 0.0)));
         assert!(!m.in_range(Vec2::ZERO, Vec2::new(300.0, 0.0)));
+    }
+
+    #[test]
+    fn fault_zone_drops_receivers_inside_it() {
+        let mut m = medium_unit_disk(500.0);
+        let nodes = nodes_on_a_line(3, 100.0); // at 0, 100, 200
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        // Total-loss zone covering only the node at x=200.
+        let slot = m.add_fault_zone(Vec2::new(150.0, -10.0), Vec2::new(250.0, 10.0), 1.0);
+        let mut rng = SimRng::new(11);
+
+        // Inactive zone: both neighbours receive.
+        let deliveries = m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(m.stats().fault_losses.value(), 0);
+
+        // Active zone: the covered receiver is lost, the other survives.
+        m.set_fault_zone_active(slot, true);
+        assert_eq!(m.active_fault_zone_count(), 1);
+        let deliveries = m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        let receivers: Vec<u32> = deliveries.iter().map(|d| d.receiver.0).collect();
+        assert_eq!(receivers, vec![1]);
+        assert_eq!(m.stats().fault_losses.value(), 1);
+
+        // Deactivated again: back to both.
+        m.set_fault_zone_active(slot, false);
+        assert_eq!(m.active_fault_zone_count(), 0);
+        let deliveries = m.transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng);
+        assert_eq!(deliveries.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_fault_zones_compose_their_loss() {
+        let mut m = medium_unit_disk(500.0);
+        let nodes = vec![(NodeId(1), Vec2::new(100.0, 0.0))];
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        let everywhere_min = Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let everywhere_max = Vec2::new(f64::INFINITY, f64::INFINITY);
+        let a = m.add_fault_zone(everywhere_min, everywhere_max, 0.5);
+        let b = m.add_fault_zone(everywhere_min, everywhere_max, 0.5);
+        m.set_fault_zone_active(a, true);
+        m.set_fault_zone_active(b, true);
+        let mut rng = SimRng::new(12);
+        let n = 4_000;
+        let mut received = 0;
+        for _ in 0..n {
+            received += m
+                .transmit(SimTime::ZERO, NodeId(0), Vec2::ZERO, &pkt, &nodes, &mut rng)
+                .len();
+        }
+        // Two independent 50% zones compose to 25% survival.
+        let freq = received as f64 / n as f64;
+        assert!(
+            (freq - 0.25).abs() < 0.05,
+            "composed survival should be ~0.25, got {freq}"
+        );
+        assert_eq!(
+            m.stats().fault_losses.value() + received as u64,
+            n as u64,
+            "every candidate is either delivered or counted as fault loss"
+        );
+    }
+
+    #[test]
+    fn inactive_zones_consume_no_rng() {
+        // Identical RNG streams with and without registered-but-inactive
+        // zones: the delivery sequence must match draw-for-draw.
+        let nodes = nodes_on_a_line(5, 80.0);
+        let pkt = Packet::broadcast(NodeId(0), PacketKind::Hello, 0);
+        let mut plain = medium_unit_disk(500.0);
+        let mut with_zones = medium_unit_disk(500.0);
+        with_zones.add_fault_zone(Vec2::ZERO, Vec2::new(1.0, 1.0), 1.0);
+        let mut rng_a = SimRng::new(13);
+        let mut rng_b = SimRng::new(13);
+        for _ in 0..50 {
+            let a = plain.transmit(
+                SimTime::ZERO,
+                NodeId(0),
+                Vec2::ZERO,
+                &pkt,
+                &nodes,
+                &mut rng_a,
+            );
+            let b = with_zones.transmit(
+                SimTime::ZERO,
+                NodeId(0),
+                Vec2::ZERO,
+                &pkt,
+                &nodes,
+                &mut rng_b,
+            );
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

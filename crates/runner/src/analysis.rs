@@ -119,10 +119,30 @@ struct Group {
     values: Vec<f64>,
 }
 
-fn load_journal_groups(dir: &Path, metric: &str) -> Result<Vec<Group>, String> {
-    let path = dir.join(JOURNAL_FILE);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+/// Collects the journal's live quarantine entries with the same last-wins
+/// semantics as `Journal::open`: a report line for a key heals (removes) any
+/// quarantine for it, and a re-quarantine replaces the earlier record.
+fn load_quarantines(text: &str) -> Vec<journal::QuarantineEntry> {
+    let mut reported: Vec<u64> = Vec::new();
+    let mut quarantines: Vec<journal::QuarantineEntry> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(entry) = journal::parse_entry(line) {
+            quarantines.retain(|q| q.key != entry.key);
+            reported.push(entry.key);
+        } else if let Ok(q) = journal::parse_quarantine(line) {
+            if !reported.contains(&q.key) {
+                quarantines.retain(|e| e.key != q.key);
+                quarantines.push(q);
+            }
+        }
+    }
+    quarantines
+}
+
+fn load_journal_groups(text: &str, metric: &str) -> Result<Vec<Group>, String> {
     // Group by label, keeping (seed, value) so replicate order is the
     // label's seed order — deterministic regardless of journal line order.
     // Legacy cross-product specs label cells by scenario only, so the same
@@ -156,9 +176,6 @@ fn load_journal_groups(dir: &Path, metric: &str) -> Result<Vec<Group>, String> {
             }),
         }
     }
-    if groups.is_empty() {
-        return Err(format!("{} holds no parseable entries", path.display()));
-    }
     Ok(groups
         .iter()
         .map(|group| {
@@ -180,11 +197,18 @@ fn load_journal_groups(dir: &Path, metric: &str) -> Result<Vec<Group>, String> {
 }
 
 fn significance_report(dir: &Path, metric: &str) -> Result<String, String> {
-    let groups = load_journal_groups(dir, metric)?;
+    let path = dir.join(JOURNAL_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+    let quarantines = load_quarantines(&text);
+    let groups = load_journal_groups(&text, metric)?;
+    if groups.is_empty() && quarantines.is_empty() {
+        return Err(format!("{} holds no parseable entries", path.display()));
+    }
     let mut out = format!(
         "significance: metric {metric}, {} group(s) from {}\n",
         groups.len(),
-        dir.join(JOURNAL_FILE).display()
+        path.display()
     );
     out.push_str(&format!(
         "{:<20} {:>3} {:>12} {:>12} {:>12}\n",
@@ -227,6 +251,18 @@ fn significance_report(dir: &Path, metric: &str) -> Result<String, String> {
                 }
             };
             out.push_str(&line);
+        }
+    }
+    if !quarantines.is_empty() {
+        out.push_str(&format!(
+            "quarantined: {} job(s) never produced a report\n",
+            quarantines.len()
+        ));
+        for q in &quarantines {
+            out.push_str(&format!(
+                "  {} (seed {}): {} attempt(s), last error: {}\n",
+                q.label, q.seed, q.attempts, q.error
+            ));
         }
     }
     Ok(out)
@@ -383,7 +419,12 @@ fn bench_trend_report(
             (None, Some(c)) | (Some(c), None) => {
                 format!("{file} [{workload}]: single measurement {c:.0} ev/s, no trend\n")
             }
-            _ => return Err(format!("{file} holds no events/sec measurement")),
+            _ => {
+                return Err(format!(
+                    "{file} holds no events/sec measurement (malformed or not a BENCH_*.json \
+                     written by --bench/--bench-fleet?)"
+                ))
+            }
         };
         out.push_str(&line);
         // Throughput wins that come from trading away memory are not wins at
@@ -638,6 +679,82 @@ mod tests {
         );
         // File regression + trajectory regression (105k -> 50k).
         assert_eq!(report.regressions, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_trend_missing_or_malformed_files_error_cleanly() {
+        let missing = run_analyze(&[
+            "--bench-trend".to_owned(),
+            "/nonexistent/BENCH_gone.json".to_owned(),
+        ]);
+        let message = missing.unwrap_err();
+        assert!(message.contains("cannot read"), "{message}");
+        assert!(message.contains("BENCH_gone.json"), "{message}");
+
+        let dir = std::env::temp_dir().join(format!("vanet-trend-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let garbage = dir.join("BENCH_garbage.json");
+        std::fs::write(&garbage, "this is not json at all {{{").unwrap();
+        let malformed = run_analyze(&["--bench-trend".to_owned(), garbage.display().to_string()]);
+        let message = malformed.unwrap_err();
+        assert!(
+            message.contains("holds no events/sec measurement"),
+            "{message}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_analysis_reports_quarantined_jobs() {
+        use crate::journal::{render_entry, render_quarantine, JournalEntry, QuarantineEntry};
+        let dir = std::env::temp_dir().join(format!("vanet-quarantine-sig-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = vanet_core::Metrics::new().report("FLOOD", "hw");
+        let entry = |key: u64, seed: u64| JournalEntry {
+            key,
+            campaign: "c".to_owned(),
+            label: "hw".to_owned(),
+            seed,
+            report: report.clone(),
+        };
+        let quarantine = |key: u64, seed: u64| QuarantineEntry {
+            key,
+            campaign: "c".to_owned(),
+            label: "bad".to_owned(),
+            seed,
+            attempts: 2,
+            backoff_s: vec![1.0],
+            error: "poison fault fired".to_owned(),
+        };
+        let lines = [
+            render_entry(&entry(1, 10)),
+            render_entry(&entry(2, 11)),
+            render_quarantine(&quarantine(3, 12)),
+            // Healed: a later report supersedes this quarantine.
+            render_quarantine(&quarantine(4, 13)),
+            render_entry(&entry(4, 13)),
+        ];
+        std::fs::write(dir.join(JOURNAL_FILE), format!("{}\n", lines.join("\n"))).unwrap();
+        let report = run_analyze(&["--journal".to_owned(), dir.display().to_string()]).unwrap();
+        assert!(
+            report.text.contains("quarantined: 1 job(s)"),
+            "{}",
+            report.text
+        );
+        assert!(report.text.contains("bad (seed 12): 2 attempt(s)"));
+        assert!(report.text.contains("poison fault fired"));
+        assert_eq!(report.regressions, 0, "quarantine is reported, not gated");
+
+        // A journal holding only quarantines still renders (no groups).
+        std::fs::write(
+            dir.join(JOURNAL_FILE),
+            format!("{}\n", render_quarantine(&quarantine(9, 1))),
+        )
+        .unwrap();
+        let only = run_analyze(&["--journal".to_owned(), dir.display().to_string()]).unwrap();
+        assert!(only.text.contains("0 group(s)"), "{}", only.text);
+        assert!(only.text.contains("quarantined: 1 job(s)"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

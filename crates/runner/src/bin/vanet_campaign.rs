@@ -10,13 +10,21 @@
 //!   --scenarios S1,S2,..  parameterised campaign over these scenarios
 //!                         (highway-<N>, urban-<N>, megacity-<N>, sparse,
 //!                         normal, congested; options e.g.
-//!                         sparse:rsus=4,flows=5)
+//!                         sparse:rsus=4,flows=5; deterministic disruptions
+//!                         via fault=, e.g. highway-40:fault=node:10..20s or
+//!                         fault=jam:5:0.9:30..60s — see scenario_spec)
 //!   --protocols P1,P2,..  protocols for a parameterised campaign
 //!                         (default: the five Table-I representatives)
 //!   --seeds N             replications per cell (default 3)
 //!   --resume DIR          journal completed jobs in DIR/journal.jsonl and
 //!                         skip jobs already recorded there (resumable,
 //!                         cached campaigns)
+//!   --max-retries N       extra attempts per panicking job before it is
+//!                         quarantined (default 0; backoff is recorded in
+//!                         the journal, never slept)
+//!   --allow-quarantine    exit 0 even when jobs were quarantined (they are
+//!                         always reported; without this flag quarantine
+//!                         fails the run)
 //!   --ci-target W         adaptive replication: keep adding seeds per cell
 //!                         until the 95% CI half-width of --ci-metric is <= W
 //!                         (min replications = --seeds, cap = --ci-max)
@@ -65,6 +73,8 @@ struct Args {
     protocols: Vec<String>,
     seeds: Option<usize>,
     resume: Option<String>,
+    max_retries: u32,
+    allow_quarantine: bool,
     ci_target: Option<f64>,
     ci_metric: String,
     ci_max: usize,
@@ -91,7 +101,8 @@ struct Args {
 fn usage() -> String {
     let mut text = String::from(
         "usage: vanet-campaign [NAME] [--scenarios S1,S2] [--protocols P1,P2] \
-         [--seeds N] [--resume DIR] [--ci-target W] [--ci-metric NAME] \
+         [--seeds N] [--resume DIR] [--max-retries N] [--allow-quarantine] \
+         [--ci-target W] [--ci-metric NAME] \
          [--ci-max N] [--workers N] [--format table|csv|jsonl] [--out FILE] \
          [--shard I/N] [--telemetry] [--telemetry-window S] \
          [--telemetry-regions N] [--full] [--quiet] [--list]\n       \
@@ -116,6 +127,33 @@ fn usage() -> String {
 /// Internal marker distinguishing a help request from a parse error.
 const HELP_SENTINEL: &str = "\u{0}help";
 
+/// Splits a `--scenarios` value into specifiers. Commas separate scenarios,
+/// but they also separate *options inside* one specifier
+/// (`highway-40:fault=node:10..20s,fault=burst:0.5`), so a piece that does
+/// not begin a new scenario family is a continuation of the previous one.
+fn split_scenarios(raw: &str) -> Vec<String> {
+    let starts_family = |piece: &str| {
+        ["highway-", "urban-", "megacity-"]
+            .iter()
+            .any(|family| piece.starts_with(family))
+            || matches!(
+                piece.split(':').next(),
+                Some("sparse" | "normal" | "congested")
+            )
+    };
+    let mut specs: Vec<String> = Vec::new();
+    for piece in raw.split(',') {
+        match specs.last_mut() {
+            Some(last) if !starts_family(piece) => {
+                last.push(',');
+                last.push_str(piece);
+            }
+            _ => specs.push(piece.to_owned()),
+        }
+    }
+    specs
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         name: None,
@@ -123,6 +161,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         protocols: Vec::new(),
         seeds: None,
         resume: None,
+        max_retries: 0,
+        allow_quarantine: false,
         ci_target: None,
         ci_metric: "delivery_ratio".to_owned(),
         ci_max: 32,
@@ -155,10 +195,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--full" => args.full = true,
             "--quiet" => args.quiet = true,
             "--scenarios" => {
-                args.scenarios = value("--scenarios")?
-                    .split(',')
-                    .map(str::to_owned)
-                    .collect();
+                args.scenarios = split_scenarios(value("--scenarios")?);
             }
             "--protocols" => {
                 args.protocols = value("--protocols")?
@@ -189,6 +226,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
             }
             "--resume" => args.resume = Some(value("--resume")?.clone()),
+            "--max-retries" => {
+                args.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|_| "--max-retries needs an integer".to_owned())?;
+            }
+            "--allow-quarantine" => args.allow_quarantine = true,
             "--ci-target" => {
                 let width: f64 = value("--ci-target")?
                     .parse()
@@ -590,7 +633,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut runner = Runner::new().with_progress(!args.quiet);
+    let mut runner = Runner::new()
+        .with_progress(!args.quiet)
+        .with_max_retries(args.max_retries);
     if let Some(workers) = args.workers {
         runner = runner.with_workers(workers);
     }
@@ -638,5 +683,42 @@ fn main() -> ExitCode {
             );
         }
     }
+    if !results.quarantined.is_empty() {
+        eprintln!(
+            "[vanet-campaign] {} job(s) quarantined after repeated panics{}",
+            results.quarantined.len(),
+            if args.allow_quarantine {
+                " (tolerated by --allow-quarantine)"
+            } else {
+                ""
+            }
+        );
+        if !args.allow_quarantine {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_scenarios;
+
+    #[test]
+    fn scenario_splitting_keeps_multi_option_specs_together() {
+        assert_eq!(
+            split_scenarios("highway-12,urban-20:rsus=2"),
+            ["highway-12", "urban-20:rsus=2"]
+        );
+        assert_eq!(
+            split_scenarios("highway-40:fault=node:10..20s,fault=burst:0.5,sparse:flows=2,seed=9"),
+            [
+                "highway-40:fault=node:10..20s,fault=burst:0.5",
+                "sparse:flows=2,seed=9"
+            ]
+        );
+        // A leading continuation piece is passed through so the parser can
+        // reject it with a proper error.
+        assert_eq!(split_scenarios("fault=burst:0.5"), ["fault=burst:0.5"]);
+    }
 }

@@ -20,12 +20,14 @@
 //! cell-level caching (see `crate::journal`).
 
 use crate::campaign::CampaignSpec;
-use crate::journal::{Journal, JournalEntry};
+use crate::journal::{Journal, JournalEntry, QuarantineEntry};
 use crate::manifest;
 use crate::summary::{t_critical_95, Summary};
 use crate::telemetry::{TelemetryEntry, TelemetryLog};
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use vanet_core::{
@@ -76,6 +78,22 @@ impl CellSummary {
     }
 }
 
+/// A job the campaign gave up on: every allowed attempt panicked (or a
+/// previous run's quarantine was replayed from the journal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedJob {
+    /// The cell label from the plan.
+    pub label: String,
+    /// The protocol the job would have evaluated.
+    pub protocol: ProtocolKind,
+    /// The job's fully derived seed.
+    pub seed: u64,
+    /// Attempts made before quarantine (`--max-retries` + 1).
+    pub attempts: u32,
+    /// First line of the panic payload from the final attempt.
+    pub error: String,
+}
+
 /// The outcome of running a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResults {
@@ -90,8 +108,13 @@ pub struct CampaignResults {
     pub executed_jobs: usize,
     /// Jobs replayed from the journal cache instead of executed.
     pub cached_jobs: usize,
-    /// One aggregated cell per plan cell, in plan order.
+    /// One aggregated cell per plan cell, in plan order. Cells whose every
+    /// job was quarantined have no summary and are omitted here — they
+    /// appear in [`CampaignResults::quarantined`] instead.
     pub cells: Vec<CellSummary>,
+    /// Jobs quarantined this run (freshly poisoned or replayed from the
+    /// journal), in deterministic plan order.
+    pub quarantined: Vec<QuarantinedJob>,
 }
 
 impl CampaignResults {
@@ -110,6 +133,7 @@ pub struct Runner {
     shard: Option<(usize, usize)>,
     journal_dir: Option<PathBuf>,
     telemetry: Option<TelemetrySettings>,
+    max_retries: u32,
 }
 
 impl Default for Runner {
@@ -128,7 +152,22 @@ impl Runner {
             shard: None,
             journal_dir: None,
             telemetry: None,
+            max_retries: 0,
         }
+    }
+
+    /// Allows each job up to `retries` extra attempts after a panic before it
+    /// is quarantined. The exponential backoff schedule between attempts
+    /// (1s, 2s, 4s, …) is *recorded* in the quarantine entry rather than
+    /// slept, so retried runs stay deterministic and fast. A quarantine
+    /// replayed from the journal is honoured only while its recorded attempt
+    /// count meets the current allowance — raising `--max-retries` on a
+    /// resume re-runs previously quarantined jobs, healing them if they now
+    /// succeed.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
     }
 
     /// Restricts the runner to shard `index` of `count`: only the cells with
@@ -229,11 +268,18 @@ impl Runner {
 
     /// Runs every cell of `plan` and aggregates per-cell summaries.
     ///
+    /// Worker panics never abort the campaign: each job runs behind
+    /// `catch_unwind`, gets up to `--max-retries` extra attempts, and is then
+    /// quarantined — recorded in the journal and reported in
+    /// [`CampaignResults::quarantined`] while every healthy cell completes
+    /// normally. Journal/telemetry IO errors (unopenable directory, disk
+    /// full) degrade to a warning plus disabled persistence instead of
+    /// aborting the run.
+    ///
     /// # Panics
     ///
-    /// Panics if the plan has no cells, if a `ConfidenceWidth` policy names
-    /// an unknown metric, or if the journal directory cannot be opened or
-    /// written.
+    /// Panics if the plan has no cells or if a `ConfidenceWidth` policy
+    /// names an unknown metric.
     #[must_use]
     pub fn run_plan(&self, plan: &CampaignPlan) -> CampaignResults {
         assert!(
@@ -251,34 +297,73 @@ impl Runner {
                 );
             }
         }
-        let journal = self.journal_dir.as_ref().map(|dir| {
-            Journal::open(dir)
-                .unwrap_or_else(|error| panic!("cannot open journal in {dir:?}: {error}"))
-        });
+        // IO problems anywhere in the persistence layer degrade instead of
+        // aborting: an unopenable journal disables resume, an unopenable
+        // telemetry log disables the tap (reports are byte-identical either
+        // way), and write failures mid-run are warned about once and then
+        // muted — the campaign's in-memory results always complete.
+        let journal = self
+            .journal_dir
+            .as_ref()
+            .and_then(|dir| match Journal::open(dir) {
+                Ok(journal) => Some(journal),
+                Err(error) => {
+                    eprintln!(
+                        "[vanet-runner] warning: cannot open journal in {dir:?}: {error}; \
+                     continuing without resume or caching"
+                    );
+                    None
+                }
+            });
         if let (Some(dir), Some(journal)) = (self.journal_dir.as_ref(), journal.as_ref()) {
             // Plan-drift check: if this journal directory already holds
             // results and a manifest, report every cell whose content
             // changed since — a "resume" of an edited plan is a different
             // experiment, and that should never be silent.
-            if !journal.is_empty() {
-                if let Some(previous) = manifest::load(dir)
-                    .unwrap_or_else(|error| panic!("cannot read manifest in {dir:?}: {error}"))
-                {
-                    for warning in manifest::diff(&previous, &manifest::manifest_entries(plan)) {
-                        eprintln!("[vanet-runner] warning: {warning}");
+            if !journal.is_empty() || journal.quarantined_len() > 0 {
+                match manifest::load(dir) {
+                    Ok(Some(previous)) => {
+                        for warning in manifest::diff(&previous, &manifest::manifest_entries(plan))
+                        {
+                            eprintln!("[vanet-runner] warning: {warning}");
+                        }
                     }
+                    Ok(None) => {}
+                    Err(error) => eprintln!(
+                        "[vanet-runner] warning: cannot read manifest in {dir:?}: {error}; \
+                         skipping plan-drift check"
+                    ),
                 }
             }
-            manifest::write(dir, plan)
-                .unwrap_or_else(|error| panic!("cannot write manifest in {dir:?}: {error}"));
+            if let Err(error) = manifest::write(dir, plan) {
+                eprintln!("[vanet-runner] warning: cannot write manifest in {dir:?}: {error}");
+            }
         }
-        let telemetry_log = self.telemetry.map(|_| {
+        let telemetry_log = self.telemetry.and_then(|_| {
             let dir = self.journal_dir.as_ref().expect(
                 "telemetry requires a journal directory (Runner::with_journal) to persist into",
             );
-            TelemetryLog::open(dir)
-                .unwrap_or_else(|error| panic!("cannot open telemetry log in {dir:?}: {error}"))
+            match TelemetryLog::open(dir) {
+                Ok(log) => Some(log),
+                Err(error) => {
+                    eprintln!(
+                        "[vanet-runner] warning: cannot open telemetry log in {dir:?}: {error}; \
+                         continuing without the tap"
+                    );
+                    None
+                }
+            }
         });
+        // The tap only runs when its log opened; reports are identical
+        // either way, so this degradation never changes results.
+        let telemetry_settings = if telemetry_log.is_some() {
+            self.telemetry
+        } else {
+            None
+        };
+        let journal_writable = AtomicBool::new(true);
+        let telemetry_writable = AtomicBool::new(true);
+        let allowed_attempts = self.max_retries.saturating_add(1);
 
         let in_shard = |cell: usize| match self.shard {
             None => true,
@@ -313,6 +398,11 @@ impl Runner {
         let stderr = Mutex::new(std::io::stderr());
         let mut executed = 0;
         let mut cached = 0;
+        let mut quarantined: Vec<QuarantinedJob> = Vec::new();
+        // Cells with a quarantined job are frozen out of adaptive rounds:
+        // their replicate count can no longer grow deterministically, and
+        // re-deriving the missing seed would just re-run the same panic.
+        let mut frozen = vec![false; plan.cells.len()];
 
         let mut round: Vec<PlanJob> = plan
             .initial_jobs()
@@ -323,72 +413,136 @@ impl Runner {
             // Resolve journal hits first; only the misses go to the pool.
             // With telemetry on, a hit additionally requires the job's
             // telemetry line — a truncated `telemetry.jsonl` re-runs the
-            // affected job so the log heals deterministically.
-            let mut resolved: Vec<Option<Report>> = round
-                .iter()
-                .map(|job| {
-                    let report = journal
-                        .as_ref()
-                        .and_then(|j| j.lookup(job.key()).cloned())?;
-                    match &telemetry_log {
-                        Some(tlog) if !tlog.contains(job.key()) => None,
-                        _ => Some(report),
+            // affected job so the log heals deterministically. A journaled
+            // quarantine is replayed (not re-run) while its recorded attempt
+            // count meets the current allowance; raising --max-retries
+            // re-runs it for a chance to heal.
+            let mut resolved: Vec<Option<Report>> = vec![None; round.len()];
+            let mut replayed_quarantine = vec![false; round.len()];
+            if let Some(j) = &journal {
+                for (i, job) in round.iter().enumerate() {
+                    if let Some(report) = j.lookup(job.key()) {
+                        match &telemetry_log {
+                            Some(tlog) if !tlog.contains(job.key()) => {}
+                            _ => resolved[i] = Some(report.clone()),
+                        }
+                    } else if let Some(q) = j.lookup_quarantine(job.key()) {
+                        if q.attempts >= allowed_attempts {
+                            replayed_quarantine[i] = true;
+                            frozen[job.cell] = true;
+                            quarantined.push(QuarantinedJob {
+                                label: plan.cells[job.cell].label.clone(),
+                                protocol: job.protocol,
+                                seed: job.scenario.seed,
+                                attempts: q.attempts,
+                                error: q.error.clone(),
+                            });
+                        }
                     }
-                })
-                .collect();
+                }
+            }
             cached += resolved.iter().filter(|r| r.is_some()).count();
             let to_run: Vec<usize> = (0..round.len())
-                .filter(|&i| resolved[i].is_none())
+                .filter(|&i| resolved[i].is_none() && !replayed_quarantine[i])
                 .collect();
             executed += to_run.len();
             let fresh = parallel_map_with_progress(
                 to_run.len(),
                 self.workers,
-                |i| {
+                |i| -> Result<Report, (Vec<f64>, String)> {
                     let job = &round[to_run[i]];
-                    let report = match (self.telemetry, &telemetry_log) {
-                        (Some(settings), Some(tlog)) => {
-                            let tap = WindowedTap::new(
-                                SimDuration::from_secs(settings.window_s),
-                                settings.regions_per_axis,
-                            );
-                            let mut sim =
-                                Simulation::with_telemetry(job.scenario.clone(), job.protocol, tap);
-                            let report = sim.run();
-                            let tap = sim.into_telemetry();
-                            tlog.record(&TelemetryEntry::from_tap(
-                                job.key(),
-                                &plan.name,
-                                &plan.cells[job.cell].label,
-                                job.scenario.seed,
-                                &tap,
-                            ))
-                            .unwrap_or_else(|error| {
-                                panic!("cannot append to telemetry log {:?}: {error}", tlog.path())
-                            });
-                            report
-                        }
-                        _ => run_scenario(job.scenario.clone(), job.protocol),
-                    };
-                    // A job can re-run with its journal line intact (only
-                    // its telemetry line was lost); re-recording it would
-                    // duplicate the line and break byte-level replay
-                    // determinism, so append only on a true journal miss.
-                    if let Some(j) = &journal {
-                        if j.lookup(job.key()).is_none() {
-                            j.record(&JournalEntry {
-                                key: job.key(),
-                                campaign: plan.name.clone(),
-                                label: plan.cells[job.cell].label.clone(),
-                                seed: job.scenario.seed,
-                                report: report.clone(),
-                            })
-                            .unwrap_or_else(|error| {
-                                panic!("cannot append to journal {:?}: {error}", j.path())
-                            });
+                    let mut backoff_s = Vec::new();
+                    let mut last_error = String::new();
+                    for attempt in 0..allowed_attempts {
+                        // The simulation itself runs behind catch_unwind so a
+                        // poisoned job only loses its own cell, never the
+                        // campaign; the (infallible-by-construction) journal
+                        // and telemetry writes happen outside it.
+                        let outcome = catch_unwind(AssertUnwindSafe(
+                            || -> (Report, Option<TelemetryEntry>) {
+                                match (telemetry_settings, &telemetry_log) {
+                                    (Some(settings), Some(_)) => {
+                                        let tap = WindowedTap::new(
+                                            SimDuration::from_secs(settings.window_s),
+                                            settings.regions_per_axis,
+                                        );
+                                        let mut sim = Simulation::with_telemetry(
+                                            job.scenario.clone(),
+                                            job.protocol,
+                                            tap,
+                                        );
+                                        let report = sim.run();
+                                        let tap = sim.into_telemetry();
+                                        let entry = TelemetryEntry::from_tap(
+                                            job.key(),
+                                            &plan.name,
+                                            &plan.cells[job.cell].label,
+                                            job.scenario.seed,
+                                            &tap,
+                                        );
+                                        (report, Some(entry))
+                                    }
+                                    _ => (run_scenario(job.scenario.clone(), job.protocol), None),
+                                }
+                            },
+                        ));
+                        match outcome {
+                            Ok((report, entry)) => {
+                                if let (Some(tlog), Some(entry)) = (&telemetry_log, entry) {
+                                    if telemetry_writable.load(Ordering::Relaxed) {
+                                        if let Err(error) = tlog.record(&entry) {
+                                            if telemetry_writable.swap(false, Ordering::Relaxed) {
+                                                eprintln!(
+                                                    "[vanet-runner] warning: cannot append to \
+                                                     telemetry log {:?}: {error}; further \
+                                                     telemetry writes disabled",
+                                                    tlog.path()
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                                // A job can re-run with its journal line
+                                // intact (only its telemetry line was lost);
+                                // re-recording it would duplicate the line
+                                // and break byte-level replay determinism, so
+                                // append only on a true journal miss.
+                                if let Some(j) = &journal {
+                                    if j.lookup(job.key()).is_none()
+                                        && journal_writable.load(Ordering::Relaxed)
+                                    {
+                                        let record = JournalEntry {
+                                            key: job.key(),
+                                            campaign: plan.name.clone(),
+                                            label: plan.cells[job.cell].label.clone(),
+                                            seed: job.scenario.seed,
+                                            report: report.clone(),
+                                        };
+                                        if let Err(error) = j.record(&record) {
+                                            if journal_writable.swap(false, Ordering::Relaxed) {
+                                                eprintln!(
+                                                    "[vanet-runner] warning: cannot append to \
+                                                     journal {:?}: {error}; further journal \
+                                                     writes disabled",
+                                                    j.path()
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                                return Ok(report);
+                            }
+                            Err(payload) => {
+                                last_error = panic_message(payload.as_ref());
+                                if attempt + 1 < allowed_attempts {
+                                    // Recorded, never slept: resume must not
+                                    // depend on wall-clock waits.
+                                    backoff_s.push(f64::from(1u32 << attempt.min(30)));
+                                }
+                            }
                         }
                     }
-                    report
+                    Err((backoff_s, last_error))
                 },
                 |i, done, n| {
                     if self.progress {
@@ -402,37 +556,90 @@ impl Runner {
                     }
                 },
             );
-            for (slot, report) in to_run.into_iter().zip(fresh) {
-                resolved[slot] = Some(report);
+            for (slot, outcome) in to_run.into_iter().zip(fresh) {
+                match outcome {
+                    Ok(report) => resolved[slot] = Some(report),
+                    Err((backoff_s, error)) => {
+                        let job = &round[slot];
+                        frozen[job.cell] = true;
+                        eprintln!(
+                            "[vanet-runner] warning: quarantined {} on {} (seed {}) after {} \
+                             attempt(s): {error}",
+                            job.protocol,
+                            plan.cells[job.cell].label,
+                            job.scenario.seed,
+                            allowed_attempts
+                        );
+                        let entry = QuarantineEntry {
+                            key: job.key(),
+                            campaign: plan.name.clone(),
+                            label: plan.cells[job.cell].label.clone(),
+                            seed: job.scenario.seed,
+                            attempts: allowed_attempts,
+                            backoff_s,
+                            error: error.clone(),
+                        };
+                        if let Some(j) = &journal {
+                            if journal_writable.load(Ordering::Relaxed) {
+                                if let Err(io_error) = j.record_quarantine(&entry) {
+                                    if journal_writable.swap(false, Ordering::Relaxed) {
+                                        eprintln!(
+                                            "[vanet-runner] warning: cannot append to journal \
+                                             {:?}: {io_error}; further journal writes disabled",
+                                            j.path()
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        quarantined.push(QuarantinedJob {
+                            label: plan.cells[job.cell].label.clone(),
+                            protocol: job.protocol,
+                            seed: job.scenario.seed,
+                            attempts: allowed_attempts,
+                            error,
+                        });
+                    }
+                }
             }
             // Jobs are cell-major within a round, so pushing in round order
-            // keeps every cell's reports in replicate order.
+            // keeps every cell's reports in replicate order. Quarantined
+            // slots simply contribute no report.
             for (job, report) in round.iter().zip(resolved) {
-                reports[job.cell].push(report.expect("every round job resolved"));
+                if let Some(report) = report {
+                    reports[job.cell].push(report);
+                }
             }
-            round = next_adaptive_round(plan, &kept, &reports);
+            round = next_adaptive_round(plan, &kept, &reports, &frozen);
         }
         let elapsed = started.elapsed();
 
         let cells: Vec<CellSummary> = kept
             .iter()
-            .map(|&index| {
+            .filter_map(|&index| {
                 let cell = &plan.cells[index];
-                CellSummary {
+                // A cell whose every job was quarantined has no reports and
+                // no summary; it is reported via `quarantined` instead.
+                Summary::from_reports(&reports[index]).map(|summary| CellSummary {
                     label: cell.label.clone(),
                     scenario: cell.scenario.name.clone(),
                     protocol: cell.protocol,
-                    summary: Summary::from_reports(&reports[index])
-                        .expect("every cell runs >= 1 replication"),
-                }
+                    summary,
+                })
             })
             .collect();
         if self.progress {
+            let quarantine_note = if quarantined.is_empty() {
+                String::new()
+            } else {
+                format!(", {} quarantined", quarantined.len())
+            };
             eprintln!(
-                "[vanet-runner] campaign '{}' finished: {} jobs executed, {} cached, {:.2}s",
+                "[vanet-runner] campaign '{}' finished: {} jobs executed, {} cached{}, {:.2}s",
                 plan.name,
                 executed,
                 cached,
+                quarantine_note,
                 elapsed.as_secs_f64()
             );
         }
@@ -443,8 +650,23 @@ impl Runner {
             executed_jobs: executed,
             cached_jobs: cached,
             cells,
+            quarantined,
         }
     }
+}
+
+/// Renders a caught panic payload as the single line stored in quarantine
+/// records: the `&str`/`String` message panics carry, or a placeholder for
+/// exotic payloads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    };
+    message.lines().next().unwrap_or_default().to_owned()
 }
 
 /// The next batch of adaptive jobs for every kept `ConfidenceWidth` cell
@@ -459,13 +681,21 @@ impl Runner {
 /// one early estimate with a huge extrapolation) and to the cell's cap.
 /// Decisions depend only on the deterministic reports, so the round
 /// structure is identical across worker counts and resumes.
+///
+/// Frozen cells (any quarantined job) are excluded entirely: their completed
+/// count can no longer be trusted to derive the next replicate seed, and
+/// re-deriving the quarantined seed would deterministically re-panic forever.
 fn next_adaptive_round(
     plan: &CampaignPlan,
     kept: &[usize],
     reports: &[Vec<Report>],
+    frozen: &[bool],
 ) -> Vec<PlanJob> {
     let mut next = Vec::new();
     for &index in kept {
+        if frozen[index] {
+            continue;
+        }
         let ReplicationPolicy::ConfidenceWidth {
             metric,
             target_width,
@@ -475,6 +705,9 @@ fn next_adaptive_round(
             continue;
         };
         let done = &reports[index];
+        if done.is_empty() {
+            continue;
+        }
         let cap = plan.cells[index].replication.max_replications();
         if done.len() >= cap {
             continue;
@@ -647,7 +880,7 @@ mod tests {
         // High variance at n=2: the t-projection wants hundreds of seeds,
         // but the batch is capped at doubling the completed count.
         let noisy = vec![vec![report_with_ratio(0.0), report_with_ratio(1.0)]];
-        let round = next_adaptive_round(&plan, &kept, &noisy);
+        let round = next_adaptive_round(&plan, &kept, &noisy, &[false]);
         assert_eq!(round.len(), 2, "batch doubles, never extrapolates further");
         let base = plan.cells[0].scenario.seed;
         let seeds: Vec<u64> = round.iter().map(|j| j.scenario.seed).collect();
@@ -659,16 +892,101 @@ mod tests {
 
         // Converged cell: no follow-up jobs.
         let tight = vec![vec![report_with_ratio(0.5), report_with_ratio(0.5)]];
-        assert!(next_adaptive_round(&plan, &kept, &tight).is_empty());
+        assert!(next_adaptive_round(&plan, &kept, &tight, &[false]).is_empty());
 
         // Near the cap the batch is truncated to the remaining budget.
         let mut at_nine = vec![Vec::new()];
         for i in 0..9 {
             at_nine[0].push(report_with_ratio(if i % 2 == 0 { 0.0 } else { 1.0 }));
         }
-        let round = next_adaptive_round(&plan, &kept, &at_nine);
+        let round = next_adaptive_round(&plan, &kept, &at_nine, &[false]);
         assert_eq!(round.len(), 1, "cap leaves room for exactly one more");
         assert_eq!(round[0].scenario.seed, base + 9);
+    }
+
+    fn poisoned_plan() -> CampaignPlan {
+        // One healthy cell and one cell whose scenario panics at t=1s via
+        // the deterministic Poison chaos fault.
+        let healthy = Scenario::highway(8)
+            .with_flows(1)
+            .with_duration(SimDuration::from_secs(5.0));
+        let poisoned = Scenario::highway(8)
+            .with_flows(1)
+            .with_duration(SimDuration::from_secs(5.0))
+            .with_faults(vanet_core::FaultPlan::new().poison(1.0));
+        CampaignPlan::new("chaos")
+            .cell("ok", healthy, ProtocolKind::Flooding)
+            .cell("bad", poisoned, ProtocolKind::Flooding)
+    }
+
+    #[test]
+    fn poisoned_job_is_quarantined_not_fatal() {
+        let results = Runner::new().with_workers(2).run_plan(&poisoned_plan());
+        assert_eq!(results.cells.len(), 1, "poisoned cell has no summary");
+        assert_eq!(results.cells[0].label, "ok");
+        assert_eq!(results.quarantined.len(), 1);
+        let q = &results.quarantined[0];
+        assert_eq!(q.label, "bad");
+        assert_eq!(q.attempts, 1, "default allows a single attempt");
+        assert!(
+            q.error.contains("poison fault fired"),
+            "quarantine carries the panic message, got {:?}",
+            q.error
+        );
+    }
+
+    #[test]
+    fn retries_are_recorded_and_replayed_from_the_journal() {
+        let dir =
+            std::env::temp_dir().join(format!("vanet-engine-quarantine-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = poisoned_plan();
+        let first = Runner::new()
+            .with_workers(2)
+            .with_journal(&dir)
+            .with_max_retries(2)
+            .run_plan(&plan);
+        assert_eq!(first.quarantined.len(), 1);
+        assert_eq!(first.quarantined[0].attempts, 3, "1 + 2 retries");
+
+        // Resume: the quarantine replays from the journal, nothing re-runs.
+        let resumed = Runner::new()
+            .with_workers(2)
+            .with_journal(&dir)
+            .with_max_retries(2)
+            .run_plan(&plan);
+        assert_eq!(resumed.executed_jobs, 0, "quarantine replayed, not re-run");
+        assert_eq!(resumed.cached_jobs, 1, "healthy cell came from the cache");
+        assert_eq!(resumed.quarantined, first.quarantined);
+        assert_eq!(resumed.cells.len(), 1);
+        assert_eq!(resumed.cells[0].summary, first.cells[0].summary);
+
+        // Raising the allowance re-runs the job for a chance to heal; a
+        // deterministic poison panics again and is re-quarantined.
+        let raised = Runner::new()
+            .with_workers(2)
+            .with_journal(&dir)
+            .with_max_retries(4)
+            .run_plan(&plan);
+        assert_eq!(raised.executed_jobs, 1, "raised allowance re-runs the job");
+        assert_eq!(raised.quarantined[0].attempts, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_journal_degrades_to_a_warning() {
+        // A file where the journal *directory* should be: create_dir_all
+        // fails, the runner warns and completes without persistence.
+        let path =
+            std::env::temp_dir().join(format!("vanet-engine-notadir-{}", std::process::id()));
+        std::fs::write(&path, b"not a directory").unwrap();
+        let results = Runner::new()
+            .with_workers(2)
+            .with_journal(&path)
+            .run(&tiny_spec());
+        assert_eq!(results.cells.len(), 1);
+        assert_eq!(results.executed_jobs, 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -96,6 +96,22 @@ pub fn render_table(results: &CampaignResults) -> String {
             s.transmissions_per_delivered.mean,
         ));
     }
+    if !results.quarantined.is_empty() {
+        out.push_str(&format!(
+            "quarantined: {} job(s) panicked on every allowed attempt\n",
+            results.quarantined.len()
+        ));
+        for q in &results.quarantined {
+            out.push_str(&format!(
+                "  {} {} (seed {}): {} attempt(s), last error: {}\n",
+                q.label,
+                q.protocol.name(),
+                q.seed,
+                q.attempts,
+                q.error,
+            ));
+        }
+    }
     out
 }
 
@@ -379,7 +395,20 @@ impl<'a> JsonParser<'a> {
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            // Booleans surface as numbers (1/0): nothing in the export subset
+            // needs to distinguish `true` from `1` on the read path.
+            Some(b't') => self.literal(b"true", Json::Num(1.0)),
+            Some(b'f') => self.literal(b"false", Json::Num(0.0)),
             other => Err(format!("unexpected token {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("unexpected token at byte {}", self.pos))
         }
     }
 
@@ -602,6 +631,7 @@ mod tests {
                     summary,
                 },
             ],
+            quarantined: Vec::new(),
         }
     }
 
@@ -626,6 +656,23 @@ mod tests {
         let text = render_table(&fake_results());
         assert!(text.contains("AODV") && text.contains("Greedy"));
         assert!(text.contains("hw") && text.contains("urb"));
+        assert!(!text.contains("quarantined"), "no footer without failures");
+    }
+
+    #[test]
+    fn table_reports_quarantined_jobs() {
+        let mut results = fake_results();
+        results.quarantined.push(crate::QuarantinedJob {
+            label: "bad".to_owned(),
+            protocol: ProtocolKind::Aodv,
+            seed: 9,
+            attempts: 3,
+            error: "poison fault fired at 1.000s".to_owned(),
+        });
+        let text = render_table(&results);
+        assert!(text.contains("quarantined: 1 job(s)"));
+        assert!(text.contains("bad AODV (seed 9): 3 attempt(s)"));
+        assert!(text.contains("poison fault fired"));
     }
 
     #[test]

@@ -149,12 +149,102 @@ pub fn parse_entry(line: &str) -> Result<JournalEntry, String> {
     })
 }
 
+/// A job the campaign gave up on: every allowed attempt panicked. Persisted
+/// in the journal alongside completed jobs so resumed campaigns neither
+/// re-run a known-poisoned job nor forget why a cell is missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// The job's stable content key (`PlanJob::key`).
+    pub key: u64,
+    /// The campaign the job ran under (bookkeeping only).
+    pub campaign: String,
+    /// The cell label (bookkeeping only).
+    pub label: String,
+    /// The job's fully derived seed.
+    pub seed: u64,
+    /// How many times the job was attempted before quarantine.
+    pub attempts: u32,
+    /// The exponential backoff schedule that *would* apply between attempts,
+    /// in seconds. Recorded rather than slept so resume stays deterministic.
+    pub backoff_s: Vec<f64>,
+    /// First line of the panic payload from the final attempt.
+    pub error: String,
+}
+
+/// Renders one quarantine line (no trailing newline). The `"quarantined":true`
+/// marker distinguishes it from a report line.
+#[must_use]
+pub fn render_quarantine(entry: &QuarantineEntry) -> String {
+    let backoff = entry
+        .backoff_s
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"key\":\"{:016x}\",\"quarantined\":true,\"campaign\":\"{}\",\"label\":\"{}\",\
+         \"seed\":{},\"attempts\":{},\"backoff_s\":[{}],\"error\":\"{}\"}}",
+        entry.key,
+        json_escape(&entry.campaign),
+        json_escape(&entry.label),
+        entry.seed,
+        entry.attempts,
+        backoff,
+        json_escape(&entry.error),
+    )
+}
+
+/// Parses one quarantine line (a line carrying the `"quarantined":true`
+/// marker). Returns a description of the first problem for malformed lines.
+pub fn parse_quarantine(line: &str) -> Result<QuarantineEntry, String> {
+    let value = JsonParser::new(line).value()?;
+    if value
+        .get("quarantined")
+        .and_then(super::export::Json::as_f64)
+        != Some(1.0)
+    {
+        return Err("missing quarantined marker".to_owned());
+    }
+    let text = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(super::export::Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(super::export::Json::as_f64)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let key_hex = text("key")?;
+    let key = u64::from_str_radix(&key_hex, 16).map_err(|_| format!("bad key {key_hex:?}"))?;
+    let backoff_s = value
+        .get("backoff_s")
+        .and_then(super::export::Json::as_array)
+        .ok_or("missing backoff_s array")?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| "bad backoff_s element".to_owned()))
+        .collect::<Result<Vec<f64>, String>>()?;
+    Ok(QuarantineEntry {
+        key,
+        campaign: text("campaign")?,
+        label: text("label")?,
+        seed: num("seed")? as u64,
+        attempts: num("attempts")? as u32,
+        backoff_s,
+        error: text("error")?,
+    })
+}
+
 /// An open journal: the cache loaded from disk plus an append handle for
 /// streaming new completions.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     cache: HashMap<u64, Report>,
+    quarantine: HashMap<u64, QuarantineEntry>,
     file: Mutex<File>,
     skipped_lines: usize,
 }
@@ -169,18 +259,27 @@ impl Journal {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
         let mut cache = HashMap::new();
+        let mut quarantine: HashMap<u64, QuarantineEntry> = HashMap::new();
         let mut skipped_lines = 0;
         let mut needs_newline = false;
         if let Ok(existing) = std::fs::read_to_string(&path) {
+            // Last-wins per key: a report line heals an earlier quarantine
+            // (the job succeeded on a later attempt or under a raised retry
+            // budget), and a quarantine line supersedes nothing — a cached
+            // report for the same key always takes precedence.
             for line in existing.lines() {
                 if line.trim().is_empty() {
                     continue;
                 }
-                match parse_entry(line) {
-                    Ok(entry) => {
-                        cache.insert(entry.key, entry.report);
+                if let Ok(entry) = parse_entry(line) {
+                    quarantine.remove(&entry.key);
+                    cache.insert(entry.key, entry.report);
+                } else if let Ok(entry) = parse_quarantine(line) {
+                    if !cache.contains_key(&entry.key) {
+                        quarantine.insert(entry.key, entry);
                     }
-                    Err(_) => skipped_lines += 1,
+                } else {
+                    skipped_lines += 1;
                 }
             }
             // A file not ending in '\n' was interrupted mid-write; appending
@@ -195,6 +294,7 @@ impl Journal {
         Ok(Journal {
             path,
             cache,
+            quarantine,
             file: Mutex::new(file),
             skipped_lines,
         })
@@ -224,10 +324,23 @@ impl Journal {
         self.skipped_lines
     }
 
+    /// Number of quarantined jobs loaded at open time.
+    #[must_use]
+    pub fn quarantined_len(&self) -> usize {
+        self.quarantine.len()
+    }
+
     /// Looks a completed job up by its content key.
     #[must_use]
     pub fn lookup(&self, key: u64) -> Option<&Report> {
         self.cache.get(&key)
+    }
+
+    /// Looks a quarantined job up by its content key. A key never appears in
+    /// both maps: a successful report heals the quarantine at load time.
+    #[must_use]
+    pub fn lookup_quarantine(&self, key: u64) -> Option<&QuarantineEntry> {
+        self.quarantine.get(&key)
     }
 
     /// Appends a completed job and flushes, so a crash immediately after
@@ -237,6 +350,16 @@ impl Journal {
     /// directory cannot interleave within a record either.
     pub fn record(&self, entry: &JournalEntry) -> std::io::Result<()> {
         let mut line = render_entry(entry);
+        line.push('\n');
+        let mut file = self.file.lock().expect("journal file lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Appends a quarantine record and flushes; same atomicity guarantees as
+    /// [`Journal::record`].
+    pub fn record_quarantine(&self, entry: &QuarantineEntry) -> std::io::Result<()> {
+        let mut line = render_quarantine(entry);
         line.push('\n');
         let mut file = self.file.lock().expect("journal file lock poisoned");
         file.write_all(line.as_bytes())?;
@@ -320,6 +443,61 @@ mod tests {
         assert_eq!(reopened.lookup(entry().key), Some(&entry().report));
         assert_eq!(reopened.lookup(7).unwrap().data_sent, 99);
         assert_eq!(reopened.lookup(8), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn quarantine() -> QuarantineEntry {
+        QuarantineEntry {
+            key: 0xdead_beef_0000_0001,
+            campaign: "chaos".to_owned(),
+            label: "hw/AODV".to_owned(),
+            seed: 42,
+            attempts: 3,
+            backoff_s: vec![1.0, 2.0, 4.0],
+            error: "poison fault fired at 1.000s in scenario 'hw'".to_owned(),
+        }
+    }
+
+    #[test]
+    fn quarantine_round_trips_exactly() {
+        let q = quarantine();
+        let line = render_quarantine(&q);
+        assert!(line.contains("\"quarantined\":true"));
+        let parsed = parse_quarantine(&line).expect("rendered quarantine parses");
+        assert_eq!(parsed, q, "quarantine round-trip must be lossless");
+        // A quarantine line is not a report line and vice versa.
+        assert!(parse_entry(&line).is_err());
+        assert!(parse_quarantine(&render_entry(&entry())).is_err());
+    }
+
+    #[test]
+    fn report_line_heals_earlier_quarantine() {
+        let dir = temp_dir("heal");
+        let journal = Journal::open(&dir).unwrap();
+        let mut q = quarantine();
+        q.key = entry().key;
+        journal.record_quarantine(&q).unwrap();
+        drop(journal);
+
+        let reopened = Journal::open(&dir).unwrap();
+        assert_eq!(reopened.quarantined_len(), 1);
+        assert_eq!(reopened.lookup_quarantine(q.key), Some(&q));
+        assert_eq!(reopened.lookup(q.key), None);
+        // The job later succeeds (e.g. under a raised --max-retries): the
+        // report supersedes the quarantine on the next load.
+        reopened.record(&entry()).unwrap();
+        drop(reopened);
+
+        let healed = Journal::open(&dir).unwrap();
+        assert_eq!(healed.quarantined_len(), 0);
+        assert_eq!(healed.lookup_quarantine(q.key), None);
+        assert_eq!(healed.lookup(q.key), Some(&entry().report));
+        // And a cached success is never displaced by a stale quarantine line.
+        healed.record_quarantine(&q).unwrap();
+        drop(healed);
+        let still_healed = Journal::open(&dir).unwrap();
+        assert_eq!(still_healed.quarantined_len(), 0);
+        assert_eq!(still_healed.lookup(q.key), Some(&entry().report));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -78,11 +78,11 @@ pub use bench::{
 };
 pub use campaign::{protocol_by_name, CampaignSpec, Job};
 pub use catalog::{campaign_by_name, parse_scenario, CATALOG};
-pub use engine::{CampaignResults, CellSummary, Runner, TelemetrySettings};
+pub use engine::{CampaignResults, CellSummary, QuarantinedJob, Runner, TelemetrySettings};
 pub use export::{
     parse_csv, parse_jsonl, render_csv, render_jsonl, render_table, ExportError, ParsedCampaign,
 };
-pub use journal::{Journal, JournalEntry, JOURNAL_FILE};
+pub use journal::{Journal, JournalEntry, QuarantineEntry, JOURNAL_FILE};
 pub use manifest::{ManifestEntry, MANIFEST_FILE};
 pub use scenario_spec::ScenarioParseError;
 pub use summary::{t_critical_95, Summary, SummaryStat, METRIC_NAMES};

@@ -5,7 +5,7 @@
 //! returns a [`ScenarioParseError`] naming the field that was wrong, which
 //! the CLI prints verbatim; [`parse_opt`] is the legacy `Option` shim.
 
-use vanet_core::{Scenario, TrafficRegime};
+use vanet_core::{FaultPlan, Scenario, TrafficRegime};
 
 /// A failed scenario-specifier parse: which specifier, and which part of it
 /// was wrong.
@@ -45,6 +45,106 @@ fn count(spec: &str, family: &str, raw: &str) -> Result<usize, ScenarioParseErro
     })
 }
 
+/// Parses one fault-injection option (`fault=...`) into `plan`.
+///
+/// Grammar (segments separated by `:`; a window is `<start>..<end>` in
+/// simulated seconds, either bound may carry a trailing `s`, an omitted end
+/// — `10..` — means "until the end of the run", and an omitted window means
+/// the whole run):
+///
+/// * `node:<id>:<window>` or `node:<window>` (node 0) — vehicle outage;
+/// * `rsu:<id>` or `rsu:<id>:<window>` — road-side-unit outage;
+/// * `jam:<region>:<loss>` or `jam:<region>:<loss>:<window>` — regional
+///   channel jamming with the given extra loss probability;
+/// * `burst:<loss>` or `burst:<loss>:<window>` — scenario-wide burst loss;
+/// * `panic:<t>s` — deterministic poison (the run panics at `t`), for
+///   exercising the campaign quarantine path.
+fn parse_fault(spec: &str, value: &str, plan: FaultPlan) -> Result<FaultPlan, ScenarioParseError> {
+    let seconds = |raw: &str, field: &str| -> Result<f64, ScenarioParseError> {
+        let trimmed = raw.strip_suffix('s').unwrap_or(raw);
+        trimmed.parse::<f64>().map_err(|_| {
+            error(
+                spec,
+                format!("fault {field} {raw:?} is not a number of seconds"),
+            )
+        })
+    };
+    let window = |raw: &str| -> Result<(f64, f64), ScenarioParseError> {
+        let (a, b) = raw.split_once("..").ok_or_else(|| {
+            error(
+                spec,
+                format!("fault window {raw:?} must look like <start>..<end>s"),
+            )
+        })?;
+        let start = seconds(a, "window start")?;
+        let end = if b.is_empty() {
+            f64::INFINITY
+        } else {
+            seconds(b, "window end")?
+        };
+        Ok((start, end))
+    };
+    let index = |raw: &str, field: &str| -> Result<u32, ScenarioParseError> {
+        raw.parse().map_err(|_| {
+            error(
+                spec,
+                format!("fault {field} {raw:?} is not a non-negative integer"),
+            )
+        })
+    };
+    let loss = |raw: &str| -> Result<f64, ScenarioParseError> {
+        raw.parse().map_err(|_| {
+            error(
+                spec,
+                format!("fault loss {raw:?} is not a probability in 0..=1"),
+            )
+        })
+    };
+    let whole_run = (0.0, f64::INFINITY);
+    let segments: Vec<&str> = value.split(':').collect();
+    Ok(match segments.as_slice() {
+        ["node", w] if w.contains("..") => {
+            let (start, end) = window(w)?;
+            plan.node_outage(0, start, end)
+        }
+        ["node", id] => plan.node_outage(index(id, "node id")?, whole_run.0, whole_run.1),
+        ["node", id, w] => {
+            let (start, end) = window(w)?;
+            plan.node_outage(index(id, "node id")?, start, end)
+        }
+        ["rsu", id] => plan.rsu_outage(index(id, "rsu id")?, whole_run.0, whole_run.1),
+        ["rsu", id, w] => {
+            let (start, end) = window(w)?;
+            plan.rsu_outage(index(id, "rsu id")?, start, end)
+        }
+        ["jam", region, l] => plan.jam(
+            index(region, "jam region")?,
+            loss(l)?,
+            whole_run.0,
+            whole_run.1,
+        ),
+        ["jam", region, l, w] => {
+            let (start, end) = window(w)?;
+            plan.jam(index(region, "jam region")?, loss(l)?, start, end)
+        }
+        ["burst", l] => plan.burst_loss(loss(l)?, whole_run.0, whole_run.1),
+        ["burst", l, w] => {
+            let (start, end) = window(w)?;
+            plan.burst_loss(loss(l)?, start, end)
+        }
+        ["panic", t] => plan.poison(seconds(t, "panic time")?),
+        _ => {
+            return Err(error(
+                spec,
+                format!(
+                    "unknown fault {value:?} (expected node:[<id>:]<window>, rsu:<id>[:<window>], \
+                     jam:<region>:<loss>[:<window>], burst:<loss>[:<window>] or panic:<t>s)"
+                ),
+            ))
+        }
+    })
+}
+
 /// Parses one scenario specifier:
 ///
 /// * `highway-<N>` — an N-vehicle highway;
@@ -53,7 +153,12 @@ fn count(spec: &str, family: &str, raw: &str) -> Result<usize, ScenarioParseErro
 ///   grows with the fleet; `megacity-100000` is the fleet-capacity workload);
 /// * `sparse` / `normal` / `congested` — a Table-I highway traffic regime;
 /// * an optional `:rsus=<K>` suffix adds K road-side units, e.g.
-///   `sparse:rsus=4`; `flows=<N>` and `seed=<N>` work the same way.
+///   `sparse:rsus=4`; `flows=<N>` and `seed=<N>` work the same way;
+/// * `fault=<fault>` schedules a deterministic disruption (repeatable), e.g.
+///   `fault=node:10..20s`, `fault=rsu:1`, `fault=jam:5:0.9:10..30s`,
+///   `fault=burst:0.5:2..4s`, `fault=panic:1s` — see [`parse_fault`] for the
+///   grammar; the assembled [`FaultPlan`] is validated as a whole, rejecting
+///   inverted/empty windows and overlapping windows for one target.
 ///
 /// # Errors
 ///
@@ -87,6 +192,7 @@ pub fn parse(spec: &str) -> Result<Scenario, ScenarioParseError> {
         };
         Scenario::highway_regime(regime)
     };
+    let mut faults = FaultPlan::new();
     if let Some(options) = options {
         for option in options.split(',') {
             let Some((key, value)) = option.split_once('=') else {
@@ -107,14 +213,21 @@ pub fn parse(spec: &str) -> Result<Scenario, ScenarioParseError> {
                 "rsus" => scenario = scenario.with_rsus(integer("rsus")? as usize),
                 "flows" => scenario = scenario.with_flows(integer("flows")? as usize),
                 "seed" => scenario = scenario.with_seed(integer("seed")?),
+                "fault" => faults = parse_fault(spec, value, faults)?,
                 other => {
                     return Err(error(
                         spec,
-                        format!("unknown option {other:?} (expected rsus, flows or seed)"),
+                        format!("unknown option {other:?} (expected rsus, flows, seed or fault)"),
                     ))
                 }
             }
         }
+    }
+    if !faults.is_empty() {
+        faults
+            .validate()
+            .map_err(|fault_error| error(spec, format!("invalid fault plan: {fault_error}")))?;
+        scenario = scenario.with_faults(faults);
     }
     Ok(scenario)
 }
@@ -164,6 +277,60 @@ mod tests {
         assert!(err.message.contains("missing its '=<value>'"), "{err}");
         // Display includes the full specifier for CLI output.
         assert!(err.to_string().contains("sparse:rsus"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_options() {
+        use vanet_core::FaultKind;
+        let s = parse("highway-20:fault=node:10..20s").unwrap();
+        assert_eq!(s.faults.faults.len(), 1);
+        assert_eq!(s.faults.faults[0].kind, FaultKind::NodeOutage { node: 0 });
+        assert_eq!(s.faults.faults[0].start_s, 10.0);
+        assert_eq!(s.faults.faults[0].end_s, 20.0);
+
+        let s = parse("highway-20:fault=node:3:5s..,fault=rsu:1,fault=jam:5:0.9:10..30s").unwrap();
+        assert_eq!(s.faults.faults.len(), 3);
+        assert_eq!(s.faults.faults[0].kind, FaultKind::NodeOutage { node: 3 });
+        assert_eq!(s.faults.faults[0].start_s, 5.0);
+        assert!(s.faults.faults[0].end_s.is_infinite());
+        assert_eq!(s.faults.faults[1].kind, FaultKind::RsuOutage { rsu: 1 });
+        assert!(s.faults.faults[1].end_s.is_infinite());
+        assert_eq!(
+            s.faults.faults[2].kind,
+            FaultKind::Jam {
+                region: 5,
+                loss: 0.9
+            }
+        );
+
+        let s = parse("sparse:fault=burst:0.5:2..4s,seed=7").unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.faults.faults[0].kind, FaultKind::BurstLoss { loss: 0.5 });
+
+        let s = parse("highway-8:fault=panic:1s").unwrap();
+        assert_eq!(s.faults.faults[0].kind, FaultKind::Poison);
+        assert_eq!(s.faults.faults[0].start_s, 1.0);
+    }
+
+    #[test]
+    fn fault_errors_name_the_bad_field() {
+        let err = parse("highway-20:fault=warp:1..2s").unwrap_err();
+        assert!(err.message.contains("unknown fault"), "{err}");
+        let err = parse("highway-20:fault=node:3:banana..2s").unwrap_err();
+        assert!(err.message.contains("not a number of seconds"), "{err}");
+        let err = parse("highway-20:fault=node:3:10s").unwrap_err();
+        assert!(err.message.contains("<start>..<end>s"), "{err}");
+        let err = parse("highway-20:fault=jam:x:0.5").unwrap_err();
+        assert!(err.message.contains("jam region"), "{err}");
+        // Inverted and overlapping windows are rejected by whole-plan
+        // validation with the precise message from FaultPlan::validate.
+        let err = parse("highway-20:fault=node:3:20..10s").unwrap_err();
+        assert!(err.message.contains("invalid fault plan"), "{err}");
+        let err = parse("highway-20:fault=node:3:5..15s,fault=node:3:10..20s").unwrap_err();
+        assert!(err.message.contains("overlap"), "{err}");
+        assert!(err.message.contains("invalid fault plan"), "{err}");
+        let err = parse("highway-20:fault=burst:1.5").unwrap_err();
+        assert!(err.message.contains("invalid fault plan"), "{err}");
     }
 
     #[test]

@@ -82,6 +82,11 @@ impl TelemetryEntry {
             cols.push((format!("drop_{name}"), col(&|i| windows[i].drops[d] as f64)));
         }
         cols.push((
+            "fault_drops".to_owned(),
+            col(&|i| windows[i].fault_drops as f64),
+        ));
+        cols.push(("outages".to_owned(), col(&|i| windows[i].outages as f64)));
+        cols.push((
             "neighbors_lost".to_owned(),
             col(&|i| windows[i].neighbors_lost as f64),
         ));
@@ -104,6 +109,10 @@ impl TelemetryEntry {
         cols.push((
             "medium_collision_losses".to_owned(),
             col(&|i| windows[i].medium.collision_losses.value() as f64),
+        ));
+        cols.push((
+            "medium_fault_losses".to_owned(),
+            col(&|i| windows[i].medium.fault_losses.value() as f64),
         ));
         cols.push((
             "medium_bytes".to_owned(),
@@ -410,6 +419,9 @@ mod tests {
         assert_eq!(e.col("deliveries"), Some(&[0.0, 1.0, 0.0][..]));
         assert_eq!(e.col("region_sent").map(<[f64]>::len), Some(4));
         assert!(e.col("drop_no_route").is_some());
+        assert_eq!(e.col("fault_drops"), Some(&[0.0, 0.0, 0.0][..]));
+        assert_eq!(e.col("outages"), Some(&[0.0, 0.0, 0.0][..]));
+        assert_eq!(e.col("medium_fault_losses"), Some(&[0.0, 0.0, 0.0][..]));
         assert!(e
             .window_col_names()
             .iter()

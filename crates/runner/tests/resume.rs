@@ -5,7 +5,7 @@
 //! byte-identical to cold serial runs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use vanet_core::{run_scenario, ProtocolKind, Scenario};
+use vanet_core::{run_scenario, FaultPlan, ProtocolKind, Scenario};
 use vanet_runner::{
     render_jsonl, CampaignPlan, CampaignSpec, ReplicationPolicy, Runner, Summary, JOURNAL_FILE,
 };
@@ -298,5 +298,143 @@ fn adaptive_campaign_resumes_byte_identically() {
         render_jsonl(&resumed),
         "resumed adaptive campaign diverged from the cold run"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A plan whose cells all carry scheduled disruptions — the fault-injection
+/// acceptance shape: determinism and resume must hold with faults active.
+fn faulted_plan() -> CampaignPlan {
+    CampaignPlan::new("faulted")
+        .cell_with(
+            "flooding-outage",
+            tiny(14, 100)
+                .with_name("faulted-flooding")
+                .with_faults(FaultPlan::new().node_outage(3, 2.0, 6.0)),
+            ProtocolKind::Flooding,
+            ReplicationPolicy::Fixed(2),
+        )
+        .cell_with(
+            "greedy-jam",
+            tiny(16, 200).with_name("faulted-greedy").with_faults(
+                FaultPlan::new()
+                    .jam(5, 0.7, 1.0, 8.0)
+                    .burst_loss(0.2, 4.0, 6.0),
+            ),
+            ProtocolKind::Greedy,
+            ReplicationPolicy::Fixed(2),
+        )
+        .cell_with(
+            "drr-rsu-down",
+            tiny(14, 300)
+                .with_rsus(2)
+                .with_name("faulted-drr")
+                .with_faults(FaultPlan::new().rsu_outage(0, 3.0, 7.0)),
+            ProtocolKind::Drr,
+            ReplicationPolicy::Fixed(2),
+        )
+}
+
+#[test]
+fn faulted_campaign_is_deterministic_across_worker_counts() {
+    let serial = Runner::new().with_workers(1).run_plan(&faulted_plan());
+    for workers in [2, 4] {
+        let parallel = Runner::new()
+            .with_workers(workers)
+            .run_plan(&faulted_plan());
+        assert_eq!(
+            render_jsonl(&serial),
+            render_jsonl(&parallel),
+            "faulted campaign diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn killed_faulted_campaign_resumes_byte_identically() {
+    // The acceptance criterion: terminate a campaign mid-run (simulated by
+    // truncating the journal mid-line, as a crash mid-write would), then a
+    // resume must produce exports byte-identical to an uninterrupted run.
+    let plan = faulted_plan();
+    let total_jobs = plan.initial_job_count();
+    let cold = Runner::new().run_plan(&plan);
+
+    let dir = temp_dir("fault-kill");
+    let first = Runner::new().with_journal(&dir).run_plan(&plan);
+    assert_eq!(render_jsonl(&cold), render_jsonl(&first));
+
+    let path = dir.join(JOURNAL_FILE);
+    let full = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), total_jobs);
+    let kept = 2;
+    let mut truncated = lines[..kept].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&lines[kept][..lines[kept].len() / 3]);
+    std::fs::write(&path, &truncated).unwrap();
+
+    let resumed = Runner::new().with_journal(&dir).run_plan(&plan);
+    assert_eq!(resumed.cached_jobs, kept);
+    assert_eq!(resumed.executed_jobs, total_jobs - kept);
+    assert_eq!(
+        render_jsonl(&cold),
+        render_jsonl(&resumed),
+        "resumed faulted campaign diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A healthy plan plus one cell that panics deterministically mid-sim.
+fn partly_poisoned_plan() -> CampaignPlan {
+    CampaignPlan::new("poisoned")
+        .cell(
+            "healthy",
+            tiny(12, 100).with_name("poisoned-healthy"),
+            ProtocolKind::Flooding,
+        )
+        .cell(
+            "poisoned",
+            tiny(12, 200)
+                .with_name("poisoned-cell")
+                .with_faults(FaultPlan::new().poison(1.0)),
+            ProtocolKind::Greedy,
+        )
+}
+
+#[test]
+fn quarantined_campaign_resumes_byte_identically() {
+    let plan = partly_poisoned_plan();
+    let cold = Runner::new().run_plan(&plan);
+    assert_eq!(cold.quarantined.len(), 1);
+    assert_eq!(cold.cells.len(), 1, "only the healthy cell may summarise");
+
+    let dir = temp_dir("quarantine");
+    let first = Runner::new().with_journal(&dir).run_plan(&plan);
+    assert_eq!(first.quarantined.len(), 1);
+    assert_eq!(render_jsonl(&cold), render_jsonl(&first));
+
+    // Resume: the healthy job replays from the cache, the quarantine entry
+    // replays from the journal — nothing executes, exports stay identical.
+    let resumed = Runner::new().with_journal(&dir).run_plan(&plan);
+    assert_eq!(resumed.executed_jobs, 0);
+    assert_eq!(resumed.cached_jobs, 1);
+    assert_eq!(resumed.quarantined.len(), 1);
+    assert_eq!(
+        render_jsonl(&cold),
+        render_jsonl(&resumed),
+        "quarantined campaign diverged on resume"
+    );
+
+    // Raising the retry budget re-runs (and re-quarantines) the poisoned
+    // job instead of replaying the stale entry.
+    let retried = Runner::new()
+        .with_journal(&dir)
+        .with_max_retries(2)
+        .run_plan(&plan);
+    assert_eq!(
+        retried.executed_jobs, 1,
+        "a bigger budget must re-run the job"
+    );
+    assert_eq!(retried.quarantined.len(), 1);
+    assert_eq!(retried.quarantined[0].attempts, 3);
     std::fs::remove_dir_all(&dir).ok();
 }
