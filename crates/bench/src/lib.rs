@@ -17,7 +17,6 @@
 //! variants, with the legacy mean-`Report` return types kept for the
 //! binaries and Criterion benches.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use vanet_core::{

@@ -7,6 +7,4 @@
 //! replace the `serde` path entry under `[workspace.dependencies]` with the
 //! crates.io version and enable its `derive` feature.
 
-#![forbid(unsafe_code)]
-
 pub use serde_derive::{Deserialize, Serialize};

@@ -19,7 +19,6 @@
 //! assert!(report.data_sent > 0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;

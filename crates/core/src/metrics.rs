@@ -1,6 +1,6 @@
 //! Metrics collected by a simulation run and the report derived from them.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use vanet_routing::DropReason;
 use vanet_sim::{Counter, NodeId, PacketId, RunningStats, SimTime};
 
@@ -13,8 +13,10 @@ pub struct Metrics {
     pub data_delivered: Counter,
     /// Additional (duplicate) deliveries of already-delivered packets.
     pub duplicate_deliveries: Counter,
-    /// Control packets transmitted, by packet-kind name.
-    pub control_packets: HashMap<&'static str, u64>,
+    /// Control packets transmitted, by packet-kind name. A `BTreeMap` so
+    /// every iteration (totals, exports, renders) is in kind-name order by
+    /// type, not by caller discipline.
+    pub control_packets: BTreeMap<&'static str, u64>,
     /// Total control bytes transmitted.
     pub control_bytes: Counter,
     /// Data-packet transmissions (including every forwarding hop).
@@ -23,8 +25,9 @@ pub struct Metrics {
     pub data_bytes: Counter,
     /// Route-error packets transmitted (a proxy for route breaks).
     pub route_errors: Counter,
-    /// Packet drops by reason.
-    pub drops: HashMap<DropReason, u64>,
+    /// Packet drops by reason. A `BTreeMap` so any breakdown iterates in
+    /// [`DropReason`] declaration order deterministically.
+    pub drops: BTreeMap<DropReason, u64>,
     /// End-to-end delay of delivered packets, seconds.
     pub delays: RunningStats,
     /// Hop counts of delivered packets.
@@ -32,8 +35,13 @@ pub struct Metrics {
     /// Number of neighbours sampled over time and nodes.
     pub neighbor_counts: RunningStats,
     /// Send time and source of every originated packet (for delay/PDR).
+    // lint: allow(D1) — lookup-only (`insert`/`get` by PacketId); never
+    // iterated, so map order cannot reach a Report (metrics tests pin every
+    // derived value).
     pub(crate) outstanding: HashMap<PacketId, (SimTime, NodeId)>,
     /// Packets already counted as delivered.
+    // lint: allow(D1) — membership-only (`insert`/`contains`); never
+    // iterated, so set order cannot reach a Report.
     pub(crate) delivered_ids: HashSet<PacketId>,
 }
 

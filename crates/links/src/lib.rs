@@ -33,7 +33,6 @@
 //! assert_eq!(lt.side, LinkBreakSide::Ahead);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod direction;

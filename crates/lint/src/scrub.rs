@@ -1,0 +1,392 @@
+//! Source scrubbing: a comment/string/char-literal-aware pass that blanks
+//! every non-code byte while preserving the line structure, so the rule
+//! passes downstream can match tokens without ever being fooled by a
+//! `"println!"` inside a string literal, a `HashMap` in a doc comment, or a
+//! raw string full of fixture code.
+//!
+//! The scrubber is also where the lint's *annotation contract* is read:
+//! while blanking a comment it parses `lint:` directives out of it —
+//! `// lint: allow(<rule>) — <reason>` and the `// lint: hot-path` file
+//! header — and records them with their line numbers. Rust block comments
+//! nest; raw strings carry arbitrary `#` fences; char literals must be
+//! distinguished from lifetimes. All three are handled here so the rest of
+//! the tool can treat the scrubbed text as pure code.
+
+/// An audited suppression parsed from a `// lint: allow(<rule>) — <reason>`
+/// comment. The annotation suppresses findings of `rule` on its own line and
+/// on the line directly below it (so it can sit at the end of the offending
+/// line or on its own line immediately above a multi-line statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the annotation comment starts on.
+    pub line: usize,
+    /// The rule code being allowed, e.g. `"D1"`.
+    pub rule: String,
+    /// Whether the annotation carries a non-empty justification after the
+    /// rule code. Annotations without one are themselves findings (A0).
+    pub has_reason: bool,
+}
+
+/// The result of scrubbing one source file.
+#[derive(Debug, Default)]
+pub struct Scrubbed {
+    /// The source with every comment, string, and char literal blanked to
+    /// spaces. Newlines are preserved, so byte offsets map to the same
+    /// lines as the original.
+    pub code: String,
+    /// Audited `allow` annotations, in source order.
+    pub allows: Vec<Allow>,
+    /// Lines (1-based) of `lint:` directives that failed to parse — an
+    /// unknown directive, a malformed allow, or an allow with no reason.
+    pub bad_directives: Vec<(usize, String)>,
+    /// Whether the file carries a `// lint: hot-path` header.
+    pub hot_path: bool,
+    /// Per 1-based line: whether any code (non-comment, non-string) remains
+    /// on it after scrubbing.
+    code_lines: Vec<bool>,
+}
+
+impl Scrubbed {
+    /// Whether findings of `rule` at `line` are suppressed by an audited
+    /// allow annotation — one on the same line (trailing comment) or one
+    /// whose comment directly precedes the finding's line with no other
+    /// code line in between (the annotation-above-the-statement form, which
+    /// may span several comment lines).
+    #[must_use]
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && a.has_reason
+                && (a.line == line || self.next_code_line(a.line) == Some(line))
+        })
+    }
+
+    /// The first line after `from` carrying code.
+    fn next_code_line(&self, from: usize) -> Option<usize> {
+        (from + 1..self.code_lines.len()).find(|&l| self.code_lines[l])
+    }
+}
+
+/// Scrubs `source`, blanking comments/strings/char literals and collecting
+/// `lint:` directives.
+#[must_use]
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut scrubbed = Scrubbed::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                parse_directive(text, line, &mut scrubbed);
+                push_blank(&mut out, text);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                parse_directive(text, start_line, &mut scrubbed);
+                push_blank(&mut out, text);
+            }
+            b'"' => {
+                let end = skip_string(bytes, i, &mut line);
+                push_blank(&mut out, &source[i..end]);
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let end = skip_raw_or_byte_string(bytes, i, &mut line);
+                push_blank(&mut out, &source[i..end]);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    push_blank(&mut out, &source[i..end]);
+                    i = end;
+                } else {
+                    // A lifetime: keep the tick, the identifier follows as
+                    // ordinary code.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                // Copy code bytes through, including multi-byte UTF-8.
+                let ch_len = utf8_len(c);
+                out.push_str(&source[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    scrubbed.code_lines = std::iter::once(false) // lines are 1-based
+        .chain(out.lines().map(|l| !l.trim().is_empty()))
+        .collect();
+    scrubbed.code = out;
+    scrubbed
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Blanks `text` into `out`: every non-newline char becomes a space.
+fn push_blank(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        out.push(if ch == '\n' { '\n' } else { ' ' });
+    }
+}
+
+/// Whether `r"`, `r#"`, `br"`, `b"`, `br#"` starts at `i`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Plain byte string `b"..."`.
+    bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"')
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            // An escape skips the next byte — which may be the newline of a
+            // `\`-line-continuation, so keep the line count honest.
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw/byte string starting at `r`/`b`; returns the index just past
+/// its terminator.
+fn skip_raw_or_byte_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'r') {
+        // Plain byte string: same escape rules as a normal string.
+        return skip_string(bytes, i, line);
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// If a char literal starts at the tick at `i`, returns the index just past
+/// its closing tick; `None` means the tick starts a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: skip to the closing tick.
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j + 1);
+    }
+    // `'x'` (any single char, incl. multi-byte) followed by a tick is a char
+    // literal; `'ident` without a near closing tick is a lifetime.
+    let ch_len = utf8_len(next);
+    if bytes.get(i + 1 + ch_len) == Some(&b'\'') {
+        return Some(i + 2 + ch_len);
+    }
+    None
+}
+
+/// Parses a `lint:` directive out of a comment's text, if present.
+fn parse_directive(comment: &str, line: usize, out: &mut Scrubbed) {
+    let body = comment
+        .trim_start_matches(['/', '*', '!'])
+        .trim_start()
+        .trim_end_matches(['*', '/'])
+        .trim_end();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    if rest == "hot-path" {
+        out.hot_path = true;
+        return;
+    }
+    if let Some(after) = rest.strip_prefix("allow(") {
+        let Some(close) = after.find(')') else {
+            out.bad_directives
+                .push((line, "malformed allow: missing `)`".to_owned()));
+            return;
+        };
+        let rule = after[..close].trim().to_owned();
+        if !crate::rules::is_known_rule(&rule) {
+            out.bad_directives
+                .push((line, format!("allow names unknown rule `{rule}`")));
+            return;
+        }
+        let tail = after[close + 1..].trim_start();
+        let reason = tail
+            .strip_prefix("\u{2014}")
+            .or_else(|| tail.strip_prefix("--"))
+            .or_else(|| tail.strip_prefix('-'))
+            .map(str::trim)
+            .unwrap_or("");
+        let has_reason = !reason.is_empty();
+        if !has_reason {
+            out.bad_directives.push((
+                line,
+                format!("allow({rule}) has no justification — write `// lint: allow({rule}) — <reason>`"),
+            ));
+        }
+        out.allows.push(Allow {
+            line,
+            rule,
+            has_reason,
+        });
+        return;
+    }
+    out.bad_directives
+        .push((line, format!("unknown lint directive `{rest}`")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_preserving_lines() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 2;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("HashMap"));
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert!(s.code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* outer /* inner */ still comment */ let x = r#\"Instant \"quoted\" \"#;";
+        let s = scrub(src);
+        assert!(!s.code.contains("Instant"));
+        assert!(!s.code.contains("still"));
+        assert!(s.code.contains("let x ="));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let s = scrub(src);
+        assert!(s.code.contains("'a str"));
+        assert!(!s.code.contains("'x'"));
+    }
+
+    #[test]
+    fn allow_directive_with_reason_parses() {
+        let src = "// lint: allow(D1) \u{2014} counts only; order never escapes\nlet m = 1;\n";
+        let s = scrub(src);
+        assert_eq!(s.allows.len(), 1);
+        assert!(s.allows[0].has_reason);
+        assert!(s.allowed("D1", 1));
+        assert!(s.allowed("D1", 2));
+        assert!(!s.allowed("D1", 3));
+        assert!(!s.allowed("D2", 2));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers_honest() {
+        // The `\`-newline escape inside a string spans two source lines; a
+        // directive after it must still land on its true line.
+        let src =
+            "let s = \"two \\\n lines\";\n// lint: allow(D5) \u{2014} reason\neprintln!(\"x\");\n";
+        let s = scrub(src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].line, 3);
+        assert!(s.allowed("D5", 4));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_bad_directive() {
+        let s = scrub("// lint: allow(D5)\n");
+        assert_eq!(s.bad_directives.len(), 1);
+        assert!(!s.allowed("D5", 2));
+    }
+
+    #[test]
+    fn hot_path_header_detected() {
+        assert!(scrub("// lint: hot-path\nfn f() {}\n").hot_path);
+        assert!(!scrub("// hot-path mentioned casually\n").hot_path);
+    }
+}

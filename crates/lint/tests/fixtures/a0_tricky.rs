@@ -1,0 +1,21 @@
+//! A0 tricky false positives: directive-shaped text inside strings and a
+//! well-formed allow (with an em-dash *and* with a plain `--`) — zero
+//! findings.
+
+pub fn docs() -> &'static str {
+    "write // lint: allow(D1) only as a real comment"
+}
+
+pub fn raw() -> &'static str {
+    r#"// lint: allow(D5)"#
+}
+
+pub fn warn() {
+    // lint: allow(D5) — operator warning; reason present, em-dash form.
+    eprintln!("warned");
+}
+
+pub fn warn_ascii() {
+    // lint: allow(D5) -- operator warning; reason present, double-dash form.
+    eprintln!("warned again");
+}

@@ -1,0 +1,12 @@
+//! A0 true positives: a reasonless allow and an allow naming an unknown
+//! rule — both are findings, and neither suppresses anything.
+
+pub fn f() -> u64 {
+    // lint: allow(D5)
+    1
+}
+
+pub fn g() -> u64 {
+    // lint: allow(Z9) — no such rule
+    2
+}

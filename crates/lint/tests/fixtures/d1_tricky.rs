@@ -1,0 +1,40 @@
+//! D1 tricky false positives: every `HashMap` here is either not code, not
+//! a declaration, test-only, or carries an audited allow — zero findings.
+
+// A HashMap mentioned in a comment is not a declaration.
+use std::collections::HashMap;
+
+pub fn docs() -> &'static str {
+    // The string below names the type but declares nothing.
+    "replace HashMap with BTreeMap"
+}
+
+pub fn raw() -> &'static str {
+    r#"let m: HashMap<u32, u64> = HashMap::new();"#
+}
+
+pub struct Index {
+    // lint: allow(D1) — lookup-only (`insert`/`get` by key); never iterated,
+    // so its order cannot reach a Report. Pinned by fixture_self_test.
+    slots: HashMap<u32, u64>,
+}
+
+impl Index {
+    pub fn get(&self, k: u32) -> Option<&u64> {
+        self.slots.get(&k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_use_unordered_maps() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u64);
+        for (_, v) in m.iter() {
+            assert_eq!(*v, 2);
+        }
+    }
+}

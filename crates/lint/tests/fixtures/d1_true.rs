@@ -1,0 +1,19 @@
+//! D1 true positives: an unordered container declared and iterated in a
+//! sim-visible crate (scanned as `crates/net/src/fixture.rs`).
+
+use std::collections::HashMap;
+
+pub struct Counters {
+    by_node: HashMap<u32, u64>, // D1: declaration
+}
+
+impl Counters {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, v) in self.by_node.iter() {
+            // D1: unordered iteration
+            sum += v;
+        }
+        sum
+    }
+}

@@ -1,0 +1,22 @@
+//! D2 tricky false positives: `Instant` appears only in comments, strings,
+//! and test code — zero findings.
+
+/// Use `SimTime`, never `Instant`, on the sim path.
+pub fn advice() -> &'static str {
+    "Instant and SystemTime are banned here"
+}
+
+pub fn raw() -> &'static str {
+    r"let t = Instant::now();"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_themselves() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,7 @@
+//! D2 true positive: a wall-clock read in sim-visible code.
+
+use std::time::Instant;
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,16 @@
+//! D3 tricky false positives: names that merely *contain* banned substrings,
+//! a `rand` identifier that is not a crate path, and banned names inside raw
+//! strings — zero findings.
+
+pub struct Strand {
+    pub rand: u64, // a field named `rand` is not the rand crate
+}
+
+pub fn operand(rand: u64) -> u64 {
+    // `rand` here is a plain parameter; no `::` follows it.
+    rand.wrapping_mul(0x9e37_79b9)
+}
+
+pub fn docs() -> &'static str {
+    r#"thread_rng() and OsRng are banned; use SimRng::from_seed"#
+}

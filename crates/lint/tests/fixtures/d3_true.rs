@@ -1,0 +1,6 @@
+//! D3 true positive: ambient randomness instead of the seed-derived SimRng.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

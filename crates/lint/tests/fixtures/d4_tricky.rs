@@ -1,0 +1,17 @@
+//! D4 tricky false positives: a `spawn` method on the deterministic pool,
+//! and `thread::spawn` appearing only in a string — zero findings.
+
+pub struct Pool;
+
+impl Pool {
+    pub fn spawn(&self, _job: u64) {}
+}
+
+pub fn submit(pool: &Pool) {
+    // A method named `spawn` on our own pool is exactly the sanctioned path.
+    pool.spawn(42);
+}
+
+pub fn warning() -> &'static str {
+    "never call thread::spawn directly; go through vanet_sim::pool"
+}

@@ -1,0 +1,5 @@
+//! D4 true positive: thread creation outside `vanet_sim::pool`.
+
+pub fn run_detached(f: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(f);
+}

@@ -1,0 +1,28 @@
+//! D5 tricky false positives: the macro name in strings, `writeln!` to a
+//! caller-supplied sink, an audited operator warning, and test prints —
+//! zero findings.
+
+use std::io::Write;
+
+pub fn advice() -> &'static str {
+    "use writeln! into a sink, not println!"
+}
+
+pub fn render(mut out: impl Write) -> std::io::Result<()> {
+    // writeln! to a caller-owned sink is the sanctioned form.
+    writeln!(out, "ok")
+}
+
+pub fn degrade(error: &str) {
+    // lint: allow(D5) — operator-facing degradation warning on a failure
+    // path; never on stdout, so exports stay parseable.
+    eprintln!("warning: {error}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("visible only under --nocapture");
+    }
+}

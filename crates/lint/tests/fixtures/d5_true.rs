@@ -1,0 +1,5 @@
+//! D5 true positive: stdout noise from a library crate.
+
+pub fn report_progress(done: usize, total: usize) {
+    println!("progress: {done}/{total}");
+}

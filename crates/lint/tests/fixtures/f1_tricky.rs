@@ -1,0 +1,40 @@
+//! F1 tricky false positives: the `PartialOrd` impl itself, a *handled*
+//! `partial_cmp` (matched, not unwrapped), `total_cmp`, and an audited
+//! wrapper impl — zero findings.
+
+use std::cmp::Ordering;
+
+pub struct Meters(f64);
+
+impl PartialEq for Meters {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Meters {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+pub fn handled(a: f64, b: f64) -> Ordering {
+    match a.partial_cmp(&b) {
+        Some(ord) => ord,
+        None => Ordering::Equal, // explicit NaN policy, not a blind unwrap
+    }
+}
+
+pub fn total(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+impl Eq for Meters {}
+
+impl Ord for Meters {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // lint: allow(F1) — Meters is the total-order wrapper: constructors
+        // reject NaN, so partial_cmp is total here.
+        self.0.partial_cmp(&other.0).expect("Meters is never NaN")
+    }
+}

@@ -1,0 +1,9 @@
+//! F1 true positives: force-unwrapped and defaulted float comparisons.
+
+pub fn nearest(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn rank(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,36 @@
+// lint: hot-path
+//! P1 tricky false positives: allocation names in comments and strings, an
+//! audited setup-path allocation, and test-only allocation — zero findings.
+
+pub struct Ring {
+    slots: [u64; 8],
+}
+
+impl Ring {
+    /// Reuses `self.slots`; no `Vec::new` or `collect` on this path.
+    pub fn sum(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    pub fn label() -> &'static str {
+        "zero-alloc: no vec![], no format!(), no .to_vec()"
+    }
+
+    #[must_use]
+    pub fn staging() -> Vec<u64> {
+        // lint: allow(P1) — construction, once per run; the steady state
+        // reuses the returned buffer.
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_allocate() {
+        let v: Vec<u64> = (0..8).collect();
+        assert_eq!(v.len(), Ring { slots: [0; 8] }.slots.len());
+    }
+}

@@ -1,0 +1,8 @@
+// lint: hot-path
+//! P1 true positive: an unaudited allocation in a hot-path file.
+
+pub fn step(ids: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    out.extend_from_slice(ids);
+    out
+}

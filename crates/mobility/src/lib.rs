@@ -31,7 +31,6 @@
 //! assert_eq!(highway.states().len(), 40);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod car_following;

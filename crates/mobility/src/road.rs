@@ -210,7 +210,7 @@ impl RoadNetwork {
                 let point = s.start + s.axis() * along;
                 (s.id, (point - position).norm())
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(id, _)| id)
     }
 

@@ -26,6 +26,8 @@
 //! in the simulation the cell size is the propagation model's maximum range,
 //! fixed for the lifetime of a run.
 
+// lint: hot-path
+
 use std::collections::HashMap;
 use vanet_mobility::Position;
 use vanet_sim::NodeId;
@@ -34,6 +36,10 @@ use vanet_sim::NodeId;
 #[derive(Debug, Clone, Default)]
 pub struct SpatialGrid {
     cell_m: f64,
+    // lint: allow(D1) — buckets are read only by keyed 3×3-block lookup and
+    // each bucket is kept NodeId-sorted, so map order never reaches a query
+    // result; pinned by `candidates_are_sorted_by_node_id` and
+    // `incremental_updates_match_a_fresh_build`.
     buckets: HashMap<(i64, i64), Vec<(NodeId, Position)>>,
     len: usize,
 }
@@ -58,13 +64,23 @@ impl SpatialGrid {
         // scale the counting pass lets every bucket (and the map itself) be
         // allocated exactly once instead of growing organically through
         // ~log(occupancy) reallocations per cell.
+        // lint: allow(D1) — build-time scratch; only per-cell counts leave
+        // it (below), never an ordering.
+        // lint: allow(P1) — build() runs once per run (cell size is fixed);
+        // the steady state goes through `update`.
         let mut occupancy: HashMap<(i64, i64), usize> = HashMap::with_capacity(nodes.len());
         for &(_, pos) in nodes {
             *occupancy.entry(Self::cell_of(cell_m, pos)).or_insert(0) += 1;
         }
+        // lint: allow(D1) — see the field declaration: keyed lookup only,
+        // buckets individually sorted before any query can observe them.
         let mut buckets: HashMap<(i64, i64), Vec<(NodeId, Position)>> =
-            HashMap::with_capacity(occupancy.len());
+            HashMap::with_capacity(occupancy.len()); // lint: allow(P1) — build-time, exact size
+
+        // lint: allow(D1) — insertion order into a map is unobservable; each
+        // (cell, count) lands at its own key.
         for (cell, count) in occupancy {
+            // lint: allow(P1) — build-time, exact-size bucket allocation.
             buckets.insert(cell, Vec::with_capacity(count));
         }
         for &(id, pos) in nodes {
@@ -73,6 +89,9 @@ impl SpatialGrid {
                 .or_default()
                 .push((id, pos));
         }
+        // lint: allow(D1) — each bucket is sorted independently; visit order
+        // cannot affect the per-bucket result (pinned by
+        // `candidates_are_sorted_by_node_id`).
         for bucket in buckets.values_mut() {
             bucket.sort_unstable_by_key(|&(id, _)| id);
         }
@@ -159,6 +178,8 @@ impl SpatialGrid {
     /// would miss nodes further than one cell away.
     #[must_use]
     pub fn candidates_within(&self, center: Position, radius_m: f64) -> Vec<(NodeId, Position)> {
+        // lint: allow(P1) — convenience form; warm paths use the `_into` /
+        // `_scratch` variants with caller-owned buffers.
         let mut out = Vec::new();
         self.candidates_within_into(center, radius_m, &mut out);
         out
@@ -178,6 +199,8 @@ impl SpatialGrid {
         radius_m: f64,
         out: &mut Vec<(NodeId, Position)>,
     ) {
+        // lint: allow(P1) — convenience form; warm paths hold a scratch
+        // buffer and call `candidates_within_scratch` directly.
         let mut scratch = Vec::new();
         self.candidates_within_scratch(center, radius_m, out, &mut scratch);
     }

@@ -26,7 +26,6 @@
 //! assert_eq!(deliveries.len(), 1, "only the node within 250 m receives the frame");
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;

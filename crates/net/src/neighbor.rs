@@ -336,11 +336,9 @@ impl NeighborTable {
     /// forwarding primitive.
     #[must_use]
     pub fn closest_to(&self, target: Position) -> Option<&NeighborInfo> {
-        self.entries.iter().min_by(|a, b| {
-            distance(a.position, target)
-                .partial_cmp(&distance(b.position, target))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.entries
+            .iter()
+            .min_by(|a, b| distance(a.position, target).total_cmp(&distance(b.position, target)))
     }
 
     /// The neighbour closest to `target` that is strictly closer to it than
@@ -358,11 +356,7 @@ impl NeighborTable {
         F: FnMut(&NeighborInfo) -> f64,
     {
         let mut v: Vec<&NeighborInfo> = self.entries.iter().collect();
-        v.sort_by(|a, b| {
-            score(b)
-                .partial_cmp(&score(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        v.sort_by(|a, b| score(b).total_cmp(&score(a)));
         v
     }
 }

@@ -81,7 +81,7 @@ impl Drr {
                     .position_of(r)
                     .map(|p| (r, distance(p, target)))
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(r, _)| r)
     }
 
@@ -96,7 +96,7 @@ impl Drr {
                     .map(|p| (r, distance(p, ctx.position())))
             })
             .filter(|(_, d)| *d <= ctx.range_m)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(r, _)| r)
     }
 

@@ -24,7 +24,6 @@
 //! assert_eq!(protocol.category(), Category::Connectivity);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aodv;

@@ -54,7 +54,11 @@ impl fmt::Display for Category {
 }
 
 /// Why a protocol dropped a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order; metrics key drop counters by reason in a
+/// `BTreeMap`, so every rendered or exported breakdown lists reasons in this
+/// fixed order regardless of the order drops happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DropReason {
     /// The TTL reached zero.
     TtlExpired,

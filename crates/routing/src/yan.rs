@@ -156,7 +156,7 @@ impl Yan {
             })
             .map(|n| (n.id, self.link_stability(ctx, n)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(self.config.max_branches as usize);
         scored
     }

@@ -308,6 +308,7 @@ impl Runner {
             .and_then(|dir| match Journal::open(dir) {
                 Ok(journal) => Some(journal),
                 Err(error) => {
+                    // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                     eprintln!(
                         "[vanet-runner] warning: cannot open journal in {dir:?}: {error}; \
                      continuing without resume or caching"
@@ -325,10 +326,12 @@ impl Runner {
                     Ok(Some(previous)) => {
                         for warning in manifest::diff(&previous, &manifest::manifest_entries(plan))
                         {
+                            // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                             eprintln!("[vanet-runner] warning: {warning}");
                         }
                     }
                     Ok(None) => {}
+                    // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                     Err(error) => eprintln!(
                         "[vanet-runner] warning: cannot read manifest in {dir:?}: {error}; \
                          skipping plan-drift check"
@@ -336,6 +339,7 @@ impl Runner {
                 }
             }
             if let Err(error) = manifest::write(dir, plan) {
+                // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                 eprintln!("[vanet-runner] warning: cannot write manifest in {dir:?}: {error}");
             }
         }
@@ -346,6 +350,7 @@ impl Runner {
             match TelemetryLog::open(dir) {
                 Ok(log) => Some(log),
                 Err(error) => {
+                    // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                     eprintln!(
                         "[vanet-runner] warning: cannot open telemetry log in {dir:?}: {error}; \
                          continuing without the tap"
@@ -382,6 +387,7 @@ impl Runner {
                 None => String::new(),
                 Some(j) => format!(", journal cache: {} jobs", j.len()),
             };
+            // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
             eprintln!(
                 "[vanet-runner] campaign '{}': {} cells, {} initial jobs on {} workers{}{}",
                 plan.name,
@@ -492,6 +498,7 @@ impl Runner {
                                     if telemetry_writable.load(Ordering::Relaxed) {
                                         if let Err(error) = tlog.record(&entry) {
                                             if telemetry_writable.swap(false, Ordering::Relaxed) {
+                                                // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                                                 eprintln!(
                                                     "[vanet-runner] warning: cannot append to \
                                                      telemetry log {:?}: {error}; further \
@@ -520,6 +527,7 @@ impl Runner {
                                         };
                                         if let Err(error) = j.record(&record) {
                                             if journal_writable.swap(false, Ordering::Relaxed) {
+                                                // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                                                 eprintln!(
                                                     "[vanet-runner] warning: cannot append to \
                                                      journal {:?}: {error}; further journal \
@@ -562,6 +570,7 @@ impl Runner {
                     Err((backoff_s, error)) => {
                         let job = &round[slot];
                         frozen[job.cell] = true;
+                        // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                         eprintln!(
                             "[vanet-runner] warning: quarantined {} on {} (seed {}) after {} \
                              attempt(s): {error}",
@@ -583,6 +592,7 @@ impl Runner {
                             if journal_writable.load(Ordering::Relaxed) {
                                 if let Err(io_error) = j.record_quarantine(&entry) {
                                     if journal_writable.swap(false, Ordering::Relaxed) {
+                                        // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
                                         eprintln!(
                                             "[vanet-runner] warning: cannot append to journal \
                                              {:?}: {io_error}; further journal writes disabled",
@@ -634,6 +644,7 @@ impl Runner {
             } else {
                 format!(", {} quarantined", quarantined.len())
             };
+            // lint: allow(D5) — operator-facing degradation warning on an IO/journal failure path; never on the sim path and never on stdout (exports stay parseable).
             eprintln!(
                 "[vanet-runner] campaign '{}' finished: {} jobs executed, {} cached{}, {:.2}s",
                 plan.name,

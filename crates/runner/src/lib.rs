@@ -55,7 +55,6 @@
 //! assert_eq!(results.executed_jobs, 2);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -21,6 +21,8 @@
 //! the scheduler's three-way merge pops events in exactly the order a single
 //! heap would have, byte identical, including same-timestamp tie-breaks.
 
+// lint: hot-path
+
 use crate::time::{SimDuration, SimTime};
 
 /// One calendar entry: the `(time, seq)` ordering key plus the payload.
@@ -74,7 +76,10 @@ impl<E> CalendarQueue<E> {
         CalendarQueue {
             bucket_s,
             base: 0,
+            // lint: allow(P1) — construction, once per queue; buckets are
+            // recycled in place for the life of the run.
             buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            // lint: allow(P1) — construction, once per queue.
             current: Vec::new(),
             len: 0,
         }

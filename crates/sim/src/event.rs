@@ -6,6 +6,8 @@
 //! share the same timestamp — essential for reproducible simulations where two
 //! runs with the same seed must produce byte-identical results.
 
+// lint: hot-path
+
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -90,6 +92,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            // lint: allow(P1) — construction, once per queue.
             cancelled: Vec::new(),
             live: 0,
         }

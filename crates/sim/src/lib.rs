@@ -22,7 +22,6 @@
 //! assert_eq!(msg, "hello");
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calendar;

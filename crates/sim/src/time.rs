@@ -173,7 +173,8 @@ impl Eq for SimTime {}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: construction forbids NaN.
+        // lint: allow(F1) — SimTime IS the total-order wrapper: every
+        // constructor rejects NaN, so partial_cmp is total here.
         self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
@@ -189,6 +190,8 @@ impl Eq for SimDuration {}
 impl Ord for SimDuration {
     fn cmp(&self, other: &Self) -> Ordering {
         self.0
+            // lint: allow(F1) — SimDuration IS the total-order wrapper:
+            // every constructor rejects NaN, so partial_cmp is total here.
             .partial_cmp(&other.0)
             .expect("SimDuration is never NaN")
     }

@@ -30,7 +30,6 @@
 //! println!("PBR delivered {:.0}% of packets", report.delivery_ratio * 100.0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use vanet_core as core;
