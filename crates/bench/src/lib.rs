@@ -295,8 +295,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fig1_lists_all_five_categories() {
-        assert_eq!(fig1_taxonomy().len(), 5);
+    fn fig1_lists_all_six_categories() {
+        assert_eq!(fig1_taxonomy().len(), 6);
     }
 
     #[test]
@@ -365,9 +365,10 @@ mod tests {
     #[test]
     fn table1_covers_regimes_and_categories() {
         let cells = table1(Effort::Quick);
-        assert_eq!(cells.len(), 15);
+        assert_eq!(cells.len(), 18);
         let text = render(&cells);
         assert!(text.contains("AODV") && text.contains("DRR") && text.contains("Yan"));
+        assert!(text.contains("Epidemic"), "DTN representative in Table I");
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub fn average_reports(reports: &[Report]) -> Option<Report> {
         route_errors: avg_u(&|r| r.route_errors),
         drops: avg_u(&|r| r.drops),
         avg_neighbors: avg_f(&|r| r.avg_neighbors),
+        bundles_stored: avg_u(&|r| r.bundles_stored),
+        bundles_forwarded: avg_u(&|r| r.bundles_forwarded),
+        bundles_expired: avg_u(&|r| r.bundles_expired),
+        bundles_evicted: avg_u(&|r| r.bundles_evicted),
+        custody_transfers: avg_u(&|r| r.custody_transfers),
+        buffer_peak: avg_u(&|r| r.buffer_peak),
     })
 }
 

@@ -48,4 +48,4 @@ pub use telemetry::{
 // crates (the runner) can name them without depending on the layer crates.
 pub use vanet_mobility::Position;
 pub use vanet_net::MediumStats;
-pub use vanet_routing::DropReason;
+pub use vanet_routing::{BundleOp, DropReason, DtnParams};

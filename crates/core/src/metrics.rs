@@ -1,7 +1,7 @@
 //! Metrics collected by a simulation run and the report derived from them.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use vanet_routing::DropReason;
+use vanet_routing::{BundleOp, DropReason};
 use vanet_sim::{Counter, NodeId, PacketId, RunningStats, SimTime};
 
 /// Raw per-run metric accumulators (filled in by the simulation driver).
@@ -34,6 +34,18 @@ pub struct Metrics {
     pub hops: RunningStats,
     /// Number of neighbours sampled over time and nodes.
     pub neighbor_counts: RunningStats,
+    /// Bundles stored into DTN buffers (store-carry-forward protocols).
+    pub bundles_stored: Counter,
+    /// Bundle copies forwarded to contacted neighbours.
+    pub bundles_forwarded: Counter,
+    /// Bundles discarded because their TTL ran out.
+    pub bundles_expired: Counter,
+    /// Bundles evicted under buffer pressure.
+    pub bundles_evicted: Counter,
+    /// Custody hand-overs (custody released at the acknowledged node).
+    pub custody_transfers: Counter,
+    /// Highest bundle-buffer occupancy observed at any node.
+    pub buffer_peak: usize,
     /// Send time and source of every originated packet (for delay/PDR).
     // lint: allow(D1) — lookup-only (`insert`/`get` by PacketId); never
     // iterated, so map order cannot reach a Report (metrics tests pin every
@@ -96,6 +108,20 @@ impl Metrics {
         self.neighbor_counts.record(count as f64);
     }
 
+    /// Records a bundle-buffer lifecycle event (store-carry-forward
+    /// protocols); `occupancy` is the reporting node's buffer fill after
+    /// the event and feeds the fleet-wide occupancy peak.
+    pub fn record_bundle(&mut self, op: BundleOp, occupancy: usize) {
+        match op {
+            BundleOp::Stored => self.bundles_stored.incr(),
+            BundleOp::Forwarded => self.bundles_forwarded.incr(),
+            BundleOp::Expired => self.bundles_expired.incr(),
+            BundleOp::Evicted => self.bundles_evicted.incr(),
+            BundleOp::Custody => self.custody_transfers.incr(),
+        }
+        self.buffer_peak = self.buffer_peak.max(occupancy);
+    }
+
     /// Total control packets of all kinds.
     #[must_use]
     pub fn total_control_packets(&self) -> u64 {
@@ -136,6 +162,12 @@ impl Metrics {
             route_errors: self.route_errors.value(),
             drops: self.drops.values().sum(),
             avg_neighbors: self.neighbor_counts.mean(),
+            bundles_stored: self.bundles_stored.value(),
+            bundles_forwarded: self.bundles_forwarded.value(),
+            bundles_expired: self.bundles_expired.value(),
+            bundles_evicted: self.bundles_evicted.value(),
+            custody_transfers: self.custody_transfers.value(),
+            buffer_peak: self.buffer_peak as u64,
         }
     }
 }
@@ -177,6 +209,18 @@ pub struct Report {
     pub drops: u64,
     /// Average neighbour count over nodes and time.
     pub avg_neighbors: f64,
+    /// Bundles stored into DTN buffers (0 for connected-path protocols).
+    pub bundles_stored: u64,
+    /// Bundle copies forwarded on neighbour contact.
+    pub bundles_forwarded: u64,
+    /// Bundles whose TTL ran out in a buffer.
+    pub bundles_expired: u64,
+    /// Bundles evicted under buffer pressure.
+    pub bundles_evicted: u64,
+    /// Custody hand-overs observed.
+    pub custody_transfers: u64,
+    /// Peak bundle-buffer occupancy at any node.
+    pub buffer_peak: u64,
 }
 
 impl Report {
@@ -219,14 +263,14 @@ impl Report {
     /// CSV header matching [`Report::csv_row`].
     #[must_use]
     pub fn csv_header() -> String {
-        "protocol,scenario,sent,delivered,duplicates,pdr,avg_delay_s,avg_hops,control_packets,control_bytes,data_transmissions,control_per_delivered,route_errors,drops,avg_neighbors".to_owned()
+        "protocol,scenario,sent,delivered,duplicates,pdr,avg_delay_s,avg_hops,control_packets,control_bytes,data_transmissions,control_per_delivered,route_errors,drops,avg_neighbors,bundles_stored,bundles_forwarded,bundles_expired,bundles_evicted,custody_transfers,buffer_peak".to_owned()
     }
 
     /// One CSV row.
     #[must_use]
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.4},{:.4},{:.2},{},{},{},{:.2},{},{},{:.2}",
+            "{},{},{},{},{},{:.4},{:.4},{:.2},{},{},{},{:.2},{},{},{:.2},{},{},{},{},{},{}",
             self.protocol,
             self.scenario,
             self.data_sent,
@@ -241,7 +285,13 @@ impl Report {
             self.control_per_delivered,
             self.route_errors,
             self.drops,
-            self.avg_neighbors
+            self.avg_neighbors,
+            self.bundles_stored,
+            self.bundles_forwarded,
+            self.bundles_expired,
+            self.bundles_evicted,
+            self.custody_transfers,
+            self.buffer_peak
         )
     }
 }
@@ -302,6 +352,24 @@ mod tests {
         assert!(!Report::table_header().is_empty());
         assert!(r.table_row().contains("AODV"));
         assert!(Report::csv_header().split(',').count() == r.csv_row().split(',').count());
+    }
+
+    #[test]
+    fn bundle_events_accumulate_and_track_the_occupancy_peak() {
+        let mut m = Metrics::new();
+        m.record_bundle(BundleOp::Stored, 1);
+        m.record_bundle(BundleOp::Stored, 2);
+        m.record_bundle(BundleOp::Forwarded, 2);
+        m.record_bundle(BundleOp::Evicted, 1);
+        m.record_bundle(BundleOp::Expired, 0);
+        m.record_bundle(BundleOp::Custody, 1);
+        let r = m.report("Epidemic", "sparse");
+        assert_eq!(r.bundles_stored, 2);
+        assert_eq!(r.bundles_forwarded, 1);
+        assert_eq!(r.bundles_evicted, 1);
+        assert_eq!(r.bundles_expired, 1);
+        assert_eq!(r.custody_transfers, 1);
+        assert_eq!(r.buffer_peak, 2, "peak is the max occupancy, not the last");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::fault::FaultPlan;
 use vanet_mobility::{HighwayBuilder, MobilityModel, UrbanGridBuilder};
 use vanet_net::MacParams;
+use vanet_routing::DtnParams;
 use vanet_sim::{SimDuration, SimRng};
 
 /// Which road layout the scenario uses.
@@ -105,13 +106,17 @@ pub struct Scenario {
     pub tick_interval: SimDuration,
     /// Scheduled deterministic disruptions (empty by default).
     pub faults: FaultPlan,
+    /// Store-carry-forward knobs for the DTN protocol family (defaults by
+    /// default; connected-path protocols never read them).
+    pub dtn: DtnParams,
 }
 
 /// Hand-rolled to match the derived rendering field-for-field, but omitting
-/// `faults` when the plan is empty. The content hash is computed over this
-/// rendering, so an empty plan keeps every pre-fault-support scenario hash —
-/// and therefore every cached campaign result — byte-identical, while any
-/// non-empty plan invalidates the affected cache entries.
+/// `faults` when the plan is empty and `dtn` when it holds the defaults. The
+/// content hash is computed over this rendering, so an empty plan / default
+/// knobs keep every pre-existing scenario hash — and therefore every cached
+/// campaign result — byte-identical, while any non-empty plan or tuned DTN
+/// knob invalidates the affected cache entries.
 impl std::fmt::Debug for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut s = f.debug_struct("Scenario");
@@ -132,6 +137,9 @@ impl std::fmt::Debug for Scenario {
             .field("tick_interval", &self.tick_interval);
         if !self.faults.is_empty() {
             s.field("faults", &self.faults);
+        }
+        if !self.dtn.is_default() {
+            s.field("dtn", &self.dtn);
         }
         s.finish()
     }
@@ -156,6 +164,7 @@ impl Default for Scenario {
             mobility_step: SimDuration::from_secs(0.5),
             tick_interval: SimDuration::from_secs(1.0),
             faults: FaultPlan::default(),
+            dtn: DtnParams::default(),
         }
     }
 }
@@ -167,6 +176,46 @@ impl Scenario {
         Scenario {
             name: format!("highway-{vehicles}"),
             layout: RoadLayout::Highway(HighwayBuilder::new().length_m(4_000.0).vehicles(vehicles)),
+            ..Self::default()
+        }
+    }
+
+    /// A sparse highway under scheduled node outages: the regime where
+    /// connected-path routing measurably fails (a contemporaneous multi-hop
+    /// path rarely exists) but store-carry-forward delivers, because the
+    /// ring circulation brings carriers within range of destinations well
+    /// within the stretched bundle TTL. This is the asserted version of the
+    /// ROADMAP's "bus-ferry only delivers when the ferry happens to pass
+    /// both endpoints" observation, generalised to the whole DTN family.
+    #[must_use]
+    pub fn disrupted_highway(vehicles: usize) -> Self {
+        Scenario {
+            name: format!("disrupted-highway-{vehicles}"),
+            layout: RoadLayout::Highway(
+                // Real counterflow is what mixes the clusters: opposite
+                // carriageways close at twice the mean speed, so westbound
+                // vehicles ferry bundles between eastbound partitions that
+                // are never radio-connected to each other.
+                HighwayBuilder::new()
+                    .length_m(4_000.0)
+                    .vehicles(vehicles)
+                    .counterflow(true)
+                    .speed_std_mps(8.0),
+            ),
+            radio_range_m: 120.0,
+            flows: 2,
+            duration: SimDuration::from_secs(300.0),
+            faults: FaultPlan::new()
+                .node_outage(1, 20.0, 40.0)
+                .node_outage(2, 60.0, 80.0),
+            // Buffers sized so a carrier can hold the whole disruption's
+            // worth of bundles: the point of the scenario is partition
+            // tolerance, not buffer pressure.
+            dtn: DtnParams {
+                buffer_capacity: 1024,
+                bundle_ttl: SimDuration::from_secs(300.0),
+                ..DtnParams::default()
+            },
             ..Self::default()
         }
     }
@@ -284,6 +333,27 @@ impl Scenario {
         self
     }
 
+    /// Sets the per-node DTN bundle-buffer capacity.
+    #[must_use]
+    pub fn with_dtn_buffer(mut self, capacity: usize) -> Self {
+        self.dtn.buffer_capacity = capacity;
+        self
+    }
+
+    /// Sets the DTN bundle TTL.
+    #[must_use]
+    pub fn with_dtn_ttl(mut self, ttl: SimDuration) -> Self {
+        self.dtn.bundle_ttl = ttl;
+        self
+    }
+
+    /// Sets the spray-and-wait copy-ticket budget.
+    #[must_use]
+    pub fn with_dtn_copies(mut self, copies: u32) -> Self {
+        self.dtn.copies = copies;
+        self
+    }
+
     /// Sets how many buses are among the vehicles (highway/urban builders).
     #[must_use]
     pub fn with_buses(mut self, buses: usize) -> Self {
@@ -396,6 +466,10 @@ mod tests {
                 .with_duration(vanet_sim::SimDuration::from_secs(1.0)),
             base.clone()
                 .with_faults(FaultPlan::new().node_outage(3, 5.0, 10.0)),
+            base.clone().with_dtn_buffer(4),
+            base.clone()
+                .with_dtn_ttl(vanet_sim::SimDuration::from_secs(90.0)),
+            base.clone().with_dtn_copies(2),
         ] {
             assert_ne!(
                 base.content_hash(),
@@ -403,6 +477,30 @@ mod tests {
                 "edit not reflected in content hash: {edited:?}"
             );
         }
+    }
+
+    #[test]
+    fn default_dtn_knobs_are_invisible_to_hash_and_debug() {
+        let base = Scenario::highway(40);
+        let rendered = format!("{base:?}");
+        assert!(
+            !rendered.contains("dtn"),
+            "default DTN knobs must be omitted from Debug: {rendered}"
+        );
+        let tuned = base.clone().with_dtn_buffer(8);
+        assert!(format!("{tuned:?}").contains("dtn"));
+        assert_ne!(base.content_hash(), tuned.content_hash());
+    }
+
+    #[test]
+    fn disrupted_highway_is_sparse_and_fault_laden() {
+        let s = Scenario::disrupted_highway(10);
+        assert_eq!(s.vehicle_count(), 10);
+        assert!(!s.faults.is_empty());
+        assert!(s.radio_range_m < 250.0);
+        // Bundles must outlive the partition gaps the scenario engineers, so
+        // the TTL spans the whole run.
+        assert_eq!(s.dtn.bundle_ttl, SimDuration::from_secs(300.0));
     }
 
     #[test]

@@ -161,7 +161,8 @@ impl Simulation {
     /// instance of `kind`.
     #[must_use]
     pub fn new(scenario: Scenario, kind: ProtocolKind) -> Self {
-        Self::with_factory(scenario, &|| kind.build())
+        let dtn = scenario.dtn;
+        Self::with_factory(scenario, &move || kind.build_with(dtn))
     }
 
     /// Builds a simulation with a custom protocol factory (one call per node).
@@ -180,7 +181,8 @@ impl<T: Telemetry> Simulation<T> {
     /// observes — so reports stay byte-identical with and without it.
     #[must_use]
     pub fn with_telemetry(scenario: Scenario, kind: ProtocolKind, telemetry: T) -> Self {
-        Self::build(scenario, &|| kind.build(), telemetry)
+        let dtn = scenario.dtn;
+        Self::build(scenario, &move || kind.build_with(dtn), telemetry)
     }
 
     fn build(
@@ -836,6 +838,10 @@ impl<T: Telemetry> Simulation<T> {
                     self.metrics.record_drop(reason);
                     self.telemetry
                         .on_drop(now, self.positions[node_idx], reason);
+                }
+                Action::Bundle { op, occupancy } => {
+                    self.metrics.record_bundle(op, occupancy);
+                    self.telemetry.on_bundle(now, op, occupancy);
                 }
                 Action::BackboneSend { to, packet } => {
                     let from = self.nodes[node_idx].id;

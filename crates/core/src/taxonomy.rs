@@ -4,7 +4,8 @@
 
 use vanet_routing::{
     abedi, aodv, car, greedy, gvgrid, pbr, rear, rover, taleb, Biswas, BusFerry, Category, Drr,
-    Dsdv, Flooding, RoutingProtocol, Yan, YanConfig, Zone,
+    Dsdv, DtnParams, Epidemic, Flooding, ProbFlood, Prophet, RoutingProtocol, SprayAndWait, Yan,
+    YanConfig, Zone,
 };
 
 /// Every protocol implemented in the workspace, by name.
@@ -28,11 +29,15 @@ pub enum ProtocolKind {
     Car,
     Rear,
     GvGrid,
+    Epidemic,
+    Prophet,
+    SprayWait,
+    ProbFlood,
 }
 
 impl ProtocolKind {
     /// All implemented protocols in taxonomy order.
-    pub const ALL: [ProtocolKind; 17] = [
+    pub const ALL: [ProtocolKind; 21] = [
         ProtocolKind::Flooding,
         ProtocolKind::Biswas,
         ProtocolKind::Aodv,
@@ -50,16 +55,21 @@ impl ProtocolKind {
         ProtocolKind::Car,
         ProtocolKind::Rear,
         ProtocolKind::GvGrid,
+        ProtocolKind::Epidemic,
+        ProtocolKind::Prophet,
+        ProtocolKind::SprayWait,
+        ProtocolKind::ProbFlood,
     ];
 
     /// One representative protocol per category, used by the Table I
     /// comparison experiment.
-    pub const REPRESENTATIVES: [ProtocolKind; 5] = [
+    pub const REPRESENTATIVES: [ProtocolKind; 6] = [
         ProtocolKind::Aodv,
         ProtocolKind::Pbr,
         ProtocolKind::Drr,
         ProtocolKind::Greedy,
         ProtocolKind::Yan,
+        ProtocolKind::Epidemic,
     ];
 
     /// The taxonomy category the protocol belongs to (Fig. 1).
@@ -78,6 +88,10 @@ impl ProtocolKind {
             | ProtocolKind::Car
             | ProtocolKind::Rear
             | ProtocolKind::GvGrid => Category::Probability,
+            ProtocolKind::Epidemic
+            | ProtocolKind::Prophet
+            | ProtocolKind::SprayWait
+            | ProtocolKind::ProbFlood => Category::Dtn,
         }
     }
 
@@ -102,12 +116,24 @@ impl ProtocolKind {
             ProtocolKind::Car => "CAR",
             ProtocolKind::Rear => "REAR",
             ProtocolKind::GvGrid => "GVGrid",
+            ProtocolKind::Epidemic => "Epidemic",
+            ProtocolKind::Prophet => "PRoPHET",
+            ProtocolKind::SprayWait => "SprayWait",
+            ProtocolKind::ProbFlood => "ProbFlood",
         }
     }
 
-    /// Builds a fresh protocol instance of this kind.
+    /// Builds a fresh protocol instance of this kind with default DTN
+    /// parameters (connected-path protocols ignore them entirely).
     #[must_use]
     pub fn build(self) -> Box<dyn RoutingProtocol + Send> {
+        self.build_with(DtnParams::default())
+    }
+
+    /// Builds a fresh protocol instance of this kind, with the scenario's
+    /// store-carry-forward knobs for the DTN family.
+    #[must_use]
+    pub fn build_with(self, dtn: DtnParams) -> Box<dyn RoutingProtocol + Send> {
         match self {
             ProtocolKind::Flooding => Box::new(Flooding::new()),
             ProtocolKind::Biswas => Box::new(Biswas::new()),
@@ -128,6 +154,10 @@ impl ProtocolKind {
             ProtocolKind::Car => Box::new(car()),
             ProtocolKind::Rear => Box::new(rear()),
             ProtocolKind::GvGrid => Box::new(gvgrid()),
+            ProtocolKind::Epidemic => Box::new(Epidemic::new(dtn)),
+            ProtocolKind::Prophet => Box::new(Prophet::new(dtn)),
+            ProtocolKind::SprayWait => Box::new(SprayAndWait::new(dtn)),
+            ProtocolKind::ProbFlood => Box::new(ProbFlood::new(dtn)),
         }
     }
 
@@ -201,20 +231,20 @@ mod tests {
     }
 
     #[test]
-    fn representatives_cover_all_five_categories() {
+    fn representatives_cover_all_six_categories() {
         let mut cats: Vec<Category> = ProtocolKind::REPRESENTATIVES
             .iter()
             .map(|p| p.category())
             .collect();
         cats.sort();
         cats.dedup();
-        assert_eq!(cats.len(), 5);
+        assert_eq!(cats.len(), 6);
     }
 
     #[test]
     fn taxonomy_rendering_mentions_every_protocol() {
         let lines = taxonomy_lines();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         let joined = lines.join("\n");
         for kind in ProtocolKind::ALL {
             assert!(joined.contains(kind.name()), "{} missing", kind.name());

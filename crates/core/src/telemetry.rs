@@ -9,7 +9,7 @@
 //! over its tap ([`Simulation<T: Telemetry>`](crate::Simulation)), every
 //! hook has an empty inline default, and the [`NoTelemetry`] instantiation
 //! monomorphises to exactly the pre-telemetry code. The golden reports for
-//! all 17 protocols and the `--bench-gate` perf smoke pin that down.
+//! all 21 protocols and the `--bench-gate` perf smoke pin that down.
 //!
 //! [`WindowedTap`] is the shipped implementation: it accumulates the hooks
 //! into preallocated fixed-interval [`WindowRecord`] counters (sealed by a
@@ -22,7 +22,7 @@
 
 use vanet_mobility::Position;
 use vanet_net::MediumStats;
-use vanet_routing::DropReason;
+use vanet_routing::{BundleOp, DropReason};
 use vanet_sim::{SimDuration, SimTime, StableHasher, WindowClock};
 
 /// Number of distinct [`DropReason`] variants a tap tracks.
@@ -129,6 +129,13 @@ pub trait Telemetry {
         let _ = (now, count);
     }
 
+    /// A store-carry-forward protocol reported a bundle-buffer lifecycle
+    /// event; `occupancy` is the reporting node's buffer fill afterwards.
+    #[inline]
+    fn on_bundle(&mut self, now: SimTime, op: BundleOp, occupancy: usize) {
+        let _ = (now, op, occupancy);
+    }
+
     /// A node inserted a previously unknown neighbour (a link came up).
     #[inline]
     fn on_neighbor_gained(&mut self, now: SimTime) {
@@ -180,6 +187,18 @@ pub struct WindowRecord {
     /// Scheduled fault transitions into the failed state (outage onsets,
     /// jam/burst activations) in this window.
     pub outages: u64,
+    /// Bundles stored into DTN buffers in this window.
+    pub bundles_stored: u64,
+    /// Bundle copies forwarded on neighbour contact.
+    pub bundles_forwarded: u64,
+    /// Bundles whose TTL ran out in a buffer.
+    pub bundles_expired: u64,
+    /// Bundles evicted under buffer pressure.
+    pub bundles_evicted: u64,
+    /// Custody hand-overs acknowledged.
+    pub custody_transfers: u64,
+    /// Peak bundle-buffer occupancy observed at any node in this window.
+    pub buffer_peak: u64,
     /// Medium activity attributed to this window (stats delta between the
     /// window's boundary snapshots): the channel-load record.
     pub medium: MediumStats,
@@ -321,6 +340,12 @@ impl WindowedTap {
             hasher.write_u64(w.neighbors_gained);
             hasher.write_u64(w.fault_drops);
             hasher.write_u64(w.outages);
+            hasher.write_u64(w.bundles_stored);
+            hasher.write_u64(w.bundles_forwarded);
+            hasher.write_u64(w.bundles_expired);
+            hasher.write_u64(w.bundles_evicted);
+            hasher.write_u64(w.custody_transfers);
+            hasher.write_u64(w.buffer_peak);
             hasher.write_u64(w.medium.transmissions.value());
             hasher.write_u64(w.medium.deliveries.value());
             hasher.write_u64(w.medium.propagation_losses.value());
@@ -418,6 +443,18 @@ impl Telemetry for WindowedTap {
         self.current.neighbors_gained += 1;
     }
 
+    fn on_bundle(&mut self, now: SimTime, op: BundleOp, occupancy: usize) {
+        let _ = now;
+        match op {
+            BundleOp::Stored => self.current.bundles_stored += 1,
+            BundleOp::Forwarded => self.current.bundles_forwarded += 1,
+            BundleOp::Expired => self.current.bundles_expired += 1,
+            BundleOp::Evicted => self.current.bundles_evicted += 1,
+            BundleOp::Custody => self.current.custody_transfers += 1,
+        }
+        self.current.buffer_peak = self.current.buffer_peak.max(occupancy as u64);
+    }
+
     fn on_finish(&mut self, end: SimTime, medium: &MediumStats) {
         let closed = self.clock.finish(end);
         if !closed.is_empty() {
@@ -494,6 +531,29 @@ mod tests {
         // the drop in the upper-right.
         assert_eq!(tap.regions()[0].sent, 1);
         assert_eq!(tap.regions()[3].drops, 1);
+    }
+
+    #[test]
+    fn bundle_hooks_accumulate_into_the_open_window() {
+        let mut tap = WindowedTap::new(SimDuration::from_secs(1.0), 1);
+        tap.on_start(
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 10.0),
+            SimDuration::from_secs(1.0),
+        );
+        tap.on_bundle(SimTime::ZERO, BundleOp::Stored, 3);
+        tap.on_bundle(SimTime::ZERO, BundleOp::Forwarded, 3);
+        tap.on_bundle(SimTime::ZERO, BundleOp::Custody, 2);
+        tap.on_bundle(SimTime::ZERO, BundleOp::Expired, 1);
+        tap.on_bundle(SimTime::ZERO, BundleOp::Evicted, 1);
+        tap.on_finish(SimTime::from_secs(1.0), &MediumStats::default());
+        let w = &tap.windows()[0];
+        assert_eq!(w.bundles_stored, 1);
+        assert_eq!(w.bundles_forwarded, 1);
+        assert_eq!(w.custody_transfers, 1);
+        assert_eq!(w.bundles_expired, 1);
+        assert_eq!(w.bundles_evicted, 1);
+        assert_eq!(w.buffer_peak, 3);
     }
 
     #[test]

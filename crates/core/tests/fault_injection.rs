@@ -36,6 +36,7 @@ fn same_seed_and_fault_plan_is_byte_identical_across_runs() {
         ProtocolKind::Aodv,
         ProtocolKind::Greedy,
         ProtocolKind::Drr,
+        ProtocolKind::Epidemic,
     ] {
         let first = format!("{:?}", run_scenario(faulty_scenario(), kind));
         let second = format!("{:?}", run_scenario(faulty_scenario(), kind));

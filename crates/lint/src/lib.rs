@@ -2,7 +2,7 @@
 //!
 //! The repo's core guarantee is that Reports are byte-identical across
 //! workers, shards, resumes and engine rewrites. That guarantee is pinned
-//! *dynamically* by the 17 protocol goldens; this crate enforces the
+//! *dynamically* by the 21 protocol goldens; this crate enforces the
 //! invariants *statically*, so a violation is a compile-gate failure rather
 //! than a code-review hope:
 //!

@@ -27,6 +27,13 @@ pub struct HighwayBuilder {
     speed_mean_mps: f64,
     speed_std_mps: f64,
     bidirectional: bool,
+    /// When set, westbound lanes genuinely travel in decreasing `s` instead
+    /// of sharing the eastbound integration direction. Off by default: the
+    /// historical behaviour (westbound vehicles report a westward velocity
+    /// vector but advance in `s` like everyone else) is baked into every
+    /// pinned golden report, so real counterflow is strictly opt-in.
+    #[serde(default)]
+    counterflow: bool,
     idm: IdmParams,
     lane_change_enabled: bool,
     first_node_id: u32,
@@ -44,6 +51,7 @@ impl Default for HighwayBuilder {
             speed_mean_mps: 30.0,  // ~108 km/h
             speed_std_mps: 4.0,
             bidirectional: true,
+            counterflow: false,
             idm: IdmParams::default(),
             lane_change_enabled: true,
             first_node_id: 0,
@@ -111,6 +119,17 @@ impl HighwayBuilder {
     #[must_use]
     pub fn bidirectional(mut self, yes: bool) -> Self {
         self.bidirectional = yes;
+        self
+    }
+
+    /// Makes westbound lanes genuinely travel in decreasing `s` (see the
+    /// field note: off by default to keep pinned behaviour). With real
+    /// counterflow, opposite carriageways close at twice the mean speed and
+    /// act as natural bundle ferries between partitioned clusters — the
+    /// contact pattern the store-carry-forward protocols rely on.
+    #[must_use]
+    pub fn counterflow(mut self, yes: bool) -> Self {
+        self.counterflow = yes;
         self
     }
 
@@ -266,14 +285,25 @@ impl HighwayModel {
         gap
     }
 
+    /// Whether vehicles in `lane` advance in decreasing `s` (opt-in
+    /// counterflow on the westbound carriageway).
+    fn lane_reversed(&self, lane: usize) -> bool {
+        self.config.counterflow && !self.lane_is_eastbound(lane)
+    }
+
     fn leader_of(&self, idx: usize, lane: usize) -> Option<LeaderInfo> {
         let me = &self.vehicles[idx];
+        let reversed = self.lane_reversed(lane);
         let mut best: Option<(f64, usize)> = None;
         for (j, other) in self.vehicles.iter().enumerate() {
             if j == idx || other.lane != lane {
                 continue;
             }
-            let gap = self.ring_gap(me.s, other.s);
+            let gap = if reversed {
+                self.ring_gap(other.s, me.s)
+            } else {
+                self.ring_gap(me.s, other.s)
+            };
             if gap <= 0.0 {
                 continue;
             }
@@ -369,12 +399,21 @@ impl MobilityModel for HighwayModel {
             })
             .collect();
         let length = self.config.length_m;
+        let counterflow = self.config.counterflow;
+        let eastbound_lanes = self.config.lanes_per_direction;
         for (v, a) in self.vehicles.iter_mut().zip(accels) {
             v.acceleration = a;
             v.speed = (v.speed + a * dt).clamp(0.0, self.config.speed_limit_mps);
-            v.s += v.speed * dt;
-            while v.s >= length {
-                v.s -= length;
+            if counterflow && v.lane >= eastbound_lanes {
+                v.s -= v.speed * dt;
+                while v.s < 0.0 {
+                    v.s += length;
+                }
+            } else {
+                v.s += v.speed * dt;
+                while v.s >= length {
+                    v.s -= length;
+                }
             }
         }
         self.refresh_states();
@@ -455,6 +494,51 @@ mod tests {
             east > 0 && west > 0,
             "both carriageways should be populated"
         );
+    }
+
+    #[test]
+    fn counterflow_moves_westbound_vehicles_backwards_along_the_ring() {
+        let displacements = |counterflow: bool| -> Vec<(f64, f64)> {
+            let mut rng = SimRng::new(17);
+            let mut hw = HighwayBuilder::new()
+                .length_m(2_000.0)
+                .vehicles(40)
+                .bidirectional(true)
+                .counterflow(counterflow)
+                .build(&mut rng);
+            let before: Vec<f64> = hw.states().iter().map(|s| s.position.x).collect();
+            hw.step(SimDuration::from_secs(1.0), &mut rng);
+            hw.states()
+                .iter()
+                .zip(before)
+                .map(|(s, b)| {
+                    let mut d = s.position.x - b;
+                    // Unwrap ring crossings: one second of motion is far
+                    // shorter than half the ring.
+                    if d > 1_000.0 {
+                        d -= 2_000.0;
+                    } else if d < -1_000.0 {
+                        d += 2_000.0;
+                    }
+                    (d, s.velocity.x)
+                })
+                .collect()
+        };
+        // Default behaviour: everyone advances in increasing `s`, even the
+        // vehicles whose velocity vector points west. This quirk is baked
+        // into every pinned golden report, so it must stay the default.
+        for (d, _) in displacements(false) {
+            assert!(d > 0.0, "without counterflow all vehicles advance, got {d}");
+        }
+        // Opt-in counterflow: displacement sign follows the carriageway.
+        let with = displacements(true);
+        assert!(with.iter().any(|&(_, vx)| vx < 0.0), "westbound lane empty");
+        for (d, vx) in with {
+            assert!(
+                d.signum() == vx.signum(),
+                "displacement {d} must match heading {vx}"
+            );
+        }
     }
 
     #[test]

@@ -94,6 +94,29 @@ pub enum PacketKind {
         /// Where it was last seen.
         position: Position,
     },
+    /// DTN summary vector: the anti-entropy advertisement a store-carry-
+    /// forward node broadcasts on neighbour contact, listing the bundles it
+    /// already holds (or has delivered) so peers only transfer the
+    /// difference. PRoPHET additionally piggybacks its delivery
+    /// predictabilities so peers can apply the transitive update.
+    SummaryVector {
+        /// `(origin, packet id)` keys of every bundle the sender holds or
+        /// has already seen to its final destination.
+        have: Vec<(NodeId, u64)>,
+        /// PRoPHET delivery predictabilities `(destination, P)` at the
+        /// sender; empty for protocols that do not track them.
+        predictabilities: Vec<(NodeId, f64)>,
+    },
+    /// DTN custody acknowledgement: the receiver of a bundle confirms it has
+    /// taken responsibility for it, letting the previous custodian release
+    /// its own custody flag (and become eligible for no-custody-first
+    /// eviction).
+    CustodyAck {
+        /// Originator of the acknowledged bundle.
+        origin: NodeId,
+        /// Packet id of the acknowledged bundle at its originator.
+        bundle_id: u64,
+    },
 }
 
 impl PacketKind {
@@ -116,6 +139,8 @@ impl PacketKind {
             PacketKind::Ack { .. } => "ACK",
             PacketKind::TopologyUpdate { .. } => "TUPD",
             PacketKind::InfrastructureSync { .. } => "ISYNC",
+            PacketKind::SummaryVector { .. } => "SVEC",
+            PacketKind::CustodyAck { .. } => "CACK",
         }
     }
 
@@ -133,6 +158,11 @@ impl PacketKind {
             PacketKind::Ack { .. } => 12,
             PacketKind::TopologyUpdate { entries } => 8 + 12 * entries.len(),
             PacketKind::InfrastructureSync { .. } => 24,
+            PacketKind::SummaryVector {
+                have,
+                predictabilities,
+            } => 8 + 12 * have.len() + 12 * predictabilities.len(),
+            PacketKind::CustodyAck { .. } => 16,
         }
     }
 }
@@ -177,6 +207,10 @@ pub struct Packet {
     pub sender_position: Option<Position>,
     /// Sender velocity at transmission time.
     pub sender_velocity: Option<Velocity>,
+    /// Copy tickets granted to the receiver of this transmission
+    /// (spray-and-wait binary splitting); 0 for protocols that do not
+    /// budget copies.
+    pub copies: u32,
 }
 
 /// Default time-to-live for network-layer packets.
@@ -203,6 +237,7 @@ impl Packet {
             source_route: None,
             sender_position: None,
             sender_velocity: None,
+            copies: 0,
         }
     }
 
@@ -226,6 +261,7 @@ impl Packet {
             source_route: None,
             sender_position: None,
             sender_velocity: None,
+            copies: 0,
         }
     }
 

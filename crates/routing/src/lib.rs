@@ -1,7 +1,9 @@
-//! # vanet-routing — the five routing families
+//! # vanet-routing — the five routing families, plus store-carry-forward
 //!
 //! Implementations of representative protocols from every category of the
-//! paper's taxonomy (Fig. 1):
+//! paper's taxonomy (Fig. 1), extended with the delay-tolerant
+//! store-carry-forward family that takes over where connected-path routing
+//! breaks down:
 //!
 //! | Category | Protocols |
 //! |---|---|
@@ -10,6 +12,7 @@
 //! | Infrastructure-based | [`Drr`], [`BusFerry`] |
 //! | Geographic-location-based | [`Greedy`], [`Zone`], [`Rover`] |
 //! | Probability-model-based | [`Yan`], [`Car`], [`Rear`], [`GvGrid`] |
+//! | Store-carry-forward (DTN) | [`Epidemic`], [`Prophet`], [`SprayAndWait`], [`ProbFlood`] |
 //!
 //! Every protocol implements the event-driven [`RoutingProtocol`] trait and is
 //! driven by the simulation layer in `vanet-core`.
@@ -29,6 +32,7 @@
 pub mod aodv;
 pub mod common;
 pub mod dsdv;
+pub mod dtn;
 pub mod flooding;
 pub mod geographic;
 pub mod infrastructure;
@@ -41,6 +45,10 @@ pub mod zone;
 pub use aodv::{aodv, Aodv, AodvPolicy};
 pub use common::{PendingBuffer, RouteEntry, RoutingTable, SeenCache};
 pub use dsdv::{Dsdv, DsdvConfig};
+pub use dtn::{
+    Bundle, BundleBuffer, BundleKey, DropPolicy, DtnParams, Epidemic, InsertOutcome, ProbFlood,
+    Prophet, SprayAndWait,
+};
 pub use flooding::{Biswas, Flooding};
 pub use geographic::{
     car, greedy, gvgrid, rear, Car, CarScorer, GeoConfig, GeoRouting, Greedy, GreedyScorer, GvGrid,
@@ -52,8 +60,8 @@ pub use mobility_protocols::{
 };
 pub use ondemand::{DiscoveryPolicy, OnDemandConfig, OnDemandRouting};
 pub use protocol::{
-    Action, ActionSink, Category, DropReason, LocationService, NoLocationService, ProtocolContext,
-    RoutingProtocol, TableLocationService,
+    Action, ActionSink, BundleOp, Category, DropReason, LocationService, NoLocationService,
+    ProtocolContext, RoutingProtocol, TableLocationService,
 };
 pub use yan::{TicketMetric, Yan, YanConfig};
 pub use zone::{in_corridor, rover, Rover, RoverPolicy, Zone};

@@ -83,6 +83,17 @@ pub struct OnDemandConfig {
     pub seen_horizon_s: f64,
     /// How long before route expiry a preemptive rebuild is triggered.
     pub preemptive_margin: SimDuration,
+    /// Minimum spacing between RERRs this node originates about the same
+    /// unreachable destination. Under dense-fleet churn every data packet
+    /// crossing a stale route used to re-originate a RERR, and the resulting
+    /// storm of route teardowns made recovery seed-sensitive.
+    pub rerr_interval: SimDuration,
+    /// Horizon for remembering relayed RERR ids. A RERR that cannot be
+    /// routed towards its source falls back to link broadcast, and without
+    /// duplicate suppression a dense fleet relays the same error in an
+    /// exponential broadcast storm (bounded only by the packet TTL). Each
+    /// node relays a given RERR at most once within this horizon.
+    pub rerr_seen_horizon_s: f64,
 }
 
 impl Default for OnDemandConfig {
@@ -94,6 +105,8 @@ impl Default for OnDemandConfig {
             rreq_ttl: 16,
             seen_horizon_s: 30.0,
             preemptive_margin: SimDuration::from_secs(2.0),
+            rerr_interval: SimDuration::from_secs(5.0),
+            rerr_seen_horizon_s: 30.0,
         }
     }
 }
@@ -105,6 +118,7 @@ pub struct OnDemandRouting<P: DiscoveryPolicy> {
     config: OnDemandConfig,
     table: RoutingTable,
     rreq_seen: SeenCache,
+    rerr_seen: SeenCache,
     pending: PendingBuffer,
     my_seq: SeqNo,
     next_request_id: u64,
@@ -114,6 +128,9 @@ pub struct OnDemandRouting<P: DiscoveryPolicy> {
     replied: BTreeMap<(NodeId, u64), f64>,
     /// Destinations with recent application traffic (for preemptive rebuild).
     active_destinations: BTreeMap<NodeId, SimTime>,
+    /// Time of the last RERR this node originated per unreachable
+    /// destination (the re-origination rate limit).
+    last_rerr: BTreeMap<NodeId, SimTime>,
 }
 
 impl<P: DiscoveryPolicy> OnDemandRouting<P> {
@@ -131,12 +148,14 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             config,
             table: RoutingTable::new(),
             rreq_seen: SeenCache::new(config.seen_horizon_s),
+            rerr_seen: SeenCache::new(config.rerr_seen_horizon_s),
             pending: PendingBuffer::new(config.pending_capacity, config.pending_max_age),
             my_seq: SeqNo(0),
             next_request_id: 0,
             last_discovery: BTreeMap::new(),
             replied: BTreeMap::new(),
             active_destinations: BTreeMap::new(),
+            last_rerr: BTreeMap::new(),
         }
     }
 
@@ -150,6 +169,19 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
     #[must_use]
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// Whether this node may originate a RERR about `dest` now; claims the
+    /// rate-limit slot when it may. Forwarded RERRs are never gated — only
+    /// fresh originations, so an error still propagates to its source.
+    fn may_originate_rerr(&mut self, dest: NodeId, now: SimTime) -> bool {
+        if let Some(last) = self.last_rerr.get(&dest) {
+            if now.saturating_since(*last) < self.config.rerr_interval {
+                return false;
+            }
+        }
+        self.last_rerr.insert(dest, now);
+        true
     }
 
     fn start_discovery(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) {
@@ -212,13 +244,15 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             self.start_discovery(ctx, dest);
             return;
         }
-        let mut rerr = ctx.new_control_packet(PacketKind::RouteError {
-            unreachable: vec![dest],
-            broken_link_from: ctx.node,
-            broken_link_to: dest,
-        });
-        rerr.destination = Some(packet.source);
-        ctx.transmit(rerr);
+        if self.may_originate_rerr(dest, ctx.now) {
+            let mut rerr = ctx.new_control_packet(PacketKind::RouteError {
+                unreachable: vec![dest],
+                broken_link_from: ctx.node,
+                broken_link_to: dest,
+            });
+            rerr.destination = Some(packet.source);
+            ctx.transmit(rerr);
+        }
         ctx.drop_packet(&packet, DropReason::NoRoute);
     }
 
@@ -378,7 +412,16 @@ impl<P: DiscoveryPolicy> OnDemandRouting<P> {
             }
             return;
         }
-        // Otherwise propagate the error one more hop towards the source.
+        // Otherwise propagate the error one more hop towards the source —
+        // but each distinct RERR at most once per node: the no-route relay
+        // below falls back to link broadcast, and without this cache a dense
+        // fleet amplifies one error into a TTL-bounded broadcast storm.
+        if self
+            .rerr_seen
+            .check_and_insert(packet.source, packet.id.0, ctx.now)
+        {
+            return;
+        }
         if let (true, Some(dest)) = (packet.ttl_allows_forwarding(), packet.destination) {
             if let Some(route) = self.table.route(dest, ctx.now) {
                 let next = route.next_hop;
@@ -470,8 +513,18 @@ impl<P: DiscoveryPolicy> RoutingProtocol for OnDemandRouting<P> {
         if affected.is_empty() {
             return;
         }
+        // Announce only the destinations whose rate-limit slot is free; the
+        // routes are invalidated locally either way.
+        let now = ctx.now;
+        let announce: Vec<NodeId> = affected
+            .into_iter()
+            .filter(|dest| self.may_originate_rerr(*dest, now))
+            .collect();
+        if announce.is_empty() {
+            return;
+        }
         let mut rerr = ctx.new_control_packet(PacketKind::RouteError {
-            unreachable: affected,
+            unreachable: announce,
             broken_link_from: ctx.node,
             broken_link_to: neighbor,
         });
@@ -734,6 +787,56 @@ mod tests {
             a2.is_empty(),
             "second send within the retry interval does not"
         );
+    }
+
+    #[test]
+    fn rerr_origination_is_rate_limited_per_destination() {
+        let mut env = Env::new(1, 0.0);
+        let mut proto = Aodv::new(AodvPolicy::default());
+        // An intermediate node with no route: forwarding data it cannot
+        // route re-originates a RERR — but only once per destination per
+        // rate-limit interval.
+        let incoming = |id: u64| {
+            let mut p = Packet::data(NodeId(0), NodeId(7), 10).forwarded_by(NodeId(0), None);
+            p.id = vanet_sim::PacketId(id);
+            p
+        };
+        let count_rerrs = |actions: &[Action]| {
+            actions
+                .iter()
+                .filter(|a| {
+                    matches!(a, Action::Transmit(p) if matches!(p.kind, PacketKind::RouteError { .. }))
+                })
+                .count()
+        };
+        let first = {
+            let mut ctx = env.ctx(SimTime::from_secs(1.0));
+            proto.on_packet(&mut ctx, &incoming(1), false);
+            ctx.take_actions()
+        };
+        assert_eq!(count_rerrs(&first), 1, "first failure reports the error");
+        let second = {
+            let mut ctx = env.ctx(SimTime::from_secs(1.2));
+            proto.on_packet(&mut ctx, &incoming(2), false);
+            ctx.take_actions()
+        };
+        assert_eq!(count_rerrs(&second), 0, "within the interval: suppressed");
+        assert!(
+            second.iter().any(|a| matches!(
+                a,
+                Action::Drop {
+                    reason: DropReason::NoRoute,
+                    ..
+                }
+            )),
+            "the packet itself is still dropped"
+        );
+        let third = {
+            let mut ctx = env.ctx(SimTime::from_secs(6.5));
+            proto.on_packet(&mut ctx, &incoming(3), false);
+            ctx.take_actions()
+        };
+        assert_eq!(count_rerrs(&third), 1, "a fresh interval reports again");
     }
 
     #[test]

@@ -14,7 +14,9 @@ use vanet_mobility::{Position, VehicleState, Velocity};
 use vanet_net::{NeighborView, Packet};
 use vanet_sim::{NodeId, PacketId, PacketIdAllocator, SimDuration, SimRng, SimTime};
 
-/// The five routing families of the paper's taxonomy (Fig. 1).
+/// The five routing families of the paper's taxonomy (Fig. 1), plus the
+/// delay-tolerant store-carry-forward family that picks up where the
+/// connected-path families break down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// Connectivity-based (flooding-derived) routing.
@@ -27,16 +29,19 @@ pub enum Category {
     Geographic,
     /// Probability-model-based routing.
     Probability,
+    /// Delay-tolerant store-carry-forward routing (bundle buffers, custody).
+    Dtn,
 }
 
 impl Category {
     /// All categories in taxonomy order.
-    pub const ALL: [Category; 5] = [
+    pub const ALL: [Category; 6] = [
         Category::Connectivity,
         Category::Mobility,
         Category::Infrastructure,
         Category::Geographic,
         Category::Probability,
+        Category::Dtn,
     ];
 }
 
@@ -48,6 +53,7 @@ impl fmt::Display for Category {
             Category::Infrastructure => "infrastructure",
             Category::Geographic => "geographic",
             Category::Probability => "probability",
+            Category::Dtn => "store-carry-forward",
         };
         f.write_str(name)
     }
@@ -78,6 +84,26 @@ pub enum DropReason {
     NotForMe,
 }
 
+/// A bundle-buffer lifecycle event reported by a store-carry-forward
+/// protocol, for the driver to fold into the DTN metrics and telemetry.
+///
+/// `Ord` follows declaration order so any per-op breakdown keyed by a
+/// `BTreeMap` iterates deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BundleOp {
+    /// A bundle entered this node's buffer.
+    Stored,
+    /// A buffered bundle was copied to a contacted neighbour.
+    Forwarded,
+    /// A buffered bundle's TTL ran out and it was discarded.
+    Expired,
+    /// A buffered bundle was evicted to make room under the drop policy.
+    Evicted,
+    /// Custody of a bundle was handed over (the acknowledged custodian
+    /// released its custody flag).
+    Custody,
+}
+
 /// What a protocol asks the simulation driver to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
@@ -104,6 +130,16 @@ pub enum Action {
         to: NodeId,
         /// The packet to hand over.
         packet: Packet,
+    },
+    /// Report a bundle-buffer lifecycle event (store-carry-forward
+    /// protocols only). Carries the buffer occupancy *after* the event so
+    /// the driver can track the occupancy peak without reaching into
+    /// protocol state.
+    Bundle {
+        /// What happened to the bundle.
+        op: BundleOp,
+        /// Buffered bundles at this node after the event.
+        occupancy: usize,
     },
 }
 
@@ -158,6 +194,12 @@ impl ActionSink {
     /// Queues a backbone hand-over of `packet` to road-side unit `to`.
     pub fn backbone_send(&mut self, to: NodeId, packet: Packet) {
         self.actions.push(Action::BackboneSend { to, packet });
+    }
+
+    /// Reports a bundle-buffer lifecycle event (store-carry-forward
+    /// protocols).
+    pub fn bundle(&mut self, op: BundleOp, occupancy: usize) {
+        self.actions.push(Action::Bundle { op, occupancy });
     }
 
     /// Number of queued actions.
@@ -345,6 +387,12 @@ impl<'a> ProtocolContext<'a> {
         self.actions.backbone_send(to, packet);
     }
 
+    /// Reports a bundle-buffer lifecycle event (shorthand for
+    /// `actions.bundle`).
+    pub fn bundle_event(&mut self, op: BundleOp, occupancy: usize) {
+        self.actions.bundle(op, occupancy);
+    }
+
     /// Removes and returns the actions queued so far (test convenience).
     pub fn take_actions(&mut self) -> Vec<Action> {
         self.actions.take_all()
@@ -416,9 +464,10 @@ mod tests {
 
     #[test]
     fn category_display_and_order() {
-        assert_eq!(Category::ALL.len(), 5);
+        assert_eq!(Category::ALL.len(), 6);
         assert_eq!(Category::Connectivity.to_string(), "connectivity");
         assert_eq!(Category::Probability.to_string(), "probability");
+        assert_eq!(Category::Dtn.to_string(), "store-carry-forward");
         let mut sorted = Category::ALL;
         sorted.sort();
         assert_eq!(sorted, Category::ALL);

@@ -60,6 +60,12 @@ pub fn metric_value(report: &Report, name: &str) -> Option<f64> {
         "route_errors" => report.route_errors as f64,
         "drops" => report.drops as f64,
         "avg_neighbors" => report.avg_neighbors,
+        "bundles_stored" => report.bundles_stored as f64,
+        "bundles_forwarded" => report.bundles_forwarded as f64,
+        "bundles_expired" => report.bundles_expired as f64,
+        "bundles_evicted" => report.bundles_evicted as f64,
+        "custody_transfers" => report.custody_transfers as f64,
+        "buffer_peak" => report.buffer_peak as f64,
         _ => return None,
     })
 }

@@ -875,6 +875,12 @@ mod tests {
             route_errors: 0,
             drops: 1,
             avg_neighbors: 4.0,
+            bundles_stored: 0,
+            bundles_forwarded: 0,
+            bundles_expired: 0,
+            bundles_evicted: 0,
+            custody_transfers: 0,
+            buffer_peak: 0,
         }
     }
 

@@ -63,7 +63,9 @@ pub fn render_entry(entry: &JournalEntry) -> String {
          \"avg_delay_s\":{},\"max_delay_s\":{},\"avg_hops\":{},\"control_packets\":{},\
          \"control_bytes\":{},\"data_transmissions\":{},\"control_per_delivered\":{},\
          \"transmissions_per_delivered\":{},\"route_errors\":{},\"drops\":{},\
-         \"avg_neighbors\":{}}}}}",
+         \"avg_neighbors\":{},\"bundles_stored\":{},\"bundles_forwarded\":{},\
+         \"bundles_expired\":{},\"bundles_evicted\":{},\"custody_transfers\":{},\
+         \"buffer_peak\":{}}}}}",
         entry.key,
         json_escape(&entry.campaign),
         json_escape(&entry.label),
@@ -85,6 +87,12 @@ pub fn render_entry(entry: &JournalEntry) -> String {
         r.route_errors,
         r.drops,
         r.avg_neighbors,
+        r.bundles_stored,
+        r.bundles_forwarded,
+        r.bundles_expired,
+        r.bundles_evicted,
+        r.custody_transfers,
+        r.buffer_peak,
     )
 }
 
@@ -139,6 +147,14 @@ pub fn parse_entry(line: &str) -> Result<JournalEntry, String> {
         route_errors: int("route_errors")?,
         drops: int("drops")?,
         avg_neighbors: num("avg_neighbors")?,
+        // Bundle counters postdate the journal format: absent in lines
+        // written before the DTN layer, so they default to zero.
+        bundles_stored: int("bundles_stored").unwrap_or(0),
+        bundles_forwarded: int("bundles_forwarded").unwrap_or(0),
+        bundles_expired: int("bundles_expired").unwrap_or(0),
+        bundles_evicted: int("bundles_evicted").unwrap_or(0),
+        custody_transfers: int("custody_transfers").unwrap_or(0),
+        buffer_peak: int("buffer_peak").unwrap_or(0),
     };
     Ok(JournalEntry {
         key,
@@ -391,6 +407,12 @@ mod tests {
             route_errors: 4,
             drops: 9,
             avg_neighbors: 5.333_333_333_333_333,
+            bundles_stored: 6,
+            bundles_forwarded: 3,
+            bundles_expired: 1,
+            bundles_evicted: 2,
+            custody_transfers: 3,
+            buffer_peak: 5,
         }
     }
 

@@ -6,6 +6,7 @@
 //! the CLI prints verbatim; [`parse_opt`] is the legacy `Option` shim.
 
 use vanet_core::{FaultPlan, Scenario, TrafficRegime};
+use vanet_sim::SimDuration;
 
 /// A failed scenario-specifier parse: which specifier, and which part of it
 /// was wrong.
@@ -151,9 +152,14 @@ fn parse_fault(spec: &str, value: &str, plan: FaultPlan) -> Result<FaultPlan, Sc
 /// * `urban-<N>` — an N-vehicle Manhattan grid;
 /// * `megacity-<N>` — the density-preserving stress/bench grid (the city
 ///   grows with the fleet; `megacity-100000` is the fleet-capacity workload);
+/// * `disrupted-<N>` — the sparse partition-and-outage highway where
+///   connected-path routing fails and store-carry-forward delivers;
 /// * `sparse` / `normal` / `congested` — a Table-I highway traffic regime;
 /// * an optional `:rsus=<K>` suffix adds K road-side units, e.g.
 ///   `sparse:rsus=4`; `flows=<N>` and `seed=<N>` work the same way;
+/// * `buffer=<slots>`, `ttl=<seconds>` and `copies=<L>` set the DTN
+///   store-carry-forward knobs (bundle-buffer capacity, bundle lifetime and
+///   the Spray-and-Wait ticket budget); they only affect protocols 18–21;
 /// * `fault=<fault>` schedules a deterministic disruption (repeatable), e.g.
 ///   `fault=node:10..20s`, `fault=rsu:1`, `fault=jam:5:0.9:10..30s`,
 ///   `fault=burst:0.5:2..4s`, `fault=panic:1s` — see [`parse_fault`] for the
@@ -175,6 +181,8 @@ pub fn parse(spec: &str) -> Result<Scenario, ScenarioParseError> {
         Scenario::urban(count(spec, "urban", raw)?)
     } else if let Some(raw) = base.strip_prefix("megacity-") {
         Scenario::megacity(count(spec, "megacity", raw)?)
+    } else if let Some(raw) = base.strip_prefix("disrupted-") {
+        Scenario::disrupted_highway(count(spec, "disrupted", raw)?)
     } else {
         let regime = match base {
             "sparse" => TrafficRegime::Sparse,
@@ -185,7 +193,7 @@ pub fn parse(spec: &str) -> Result<Scenario, ScenarioParseError> {
                     spec,
                     format!(
                         "unknown scenario family {other:?} (expected highway-<N>, urban-<N>, \
-                         megacity-<N>, sparse, normal or congested)"
+                         megacity-<N>, disrupted-<N>, sparse, normal or congested)"
                     ),
                 ))
             }
@@ -213,11 +221,31 @@ pub fn parse(spec: &str) -> Result<Scenario, ScenarioParseError> {
                 "rsus" => scenario = scenario.with_rsus(integer("rsus")? as usize),
                 "flows" => scenario = scenario.with_flows(integer("flows")? as usize),
                 "seed" => scenario = scenario.with_seed(integer("seed")?),
+                "buffer" => scenario = scenario.with_dtn_buffer(integer("buffer")? as usize),
+                "ttl" => {
+                    let raw = value.strip_suffix('s').unwrap_or(value);
+                    let secs: f64 = raw.parse().map_err(|_| {
+                        error(spec, format!("option ttl has non-numeric value {value:?}"))
+                    })?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(error(
+                            spec,
+                            format!(
+                                "option ttl must be a positive number of seconds, got {value:?}"
+                            ),
+                        ));
+                    }
+                    scenario = scenario.with_dtn_ttl(SimDuration::from_secs(secs));
+                }
+                "copies" => scenario = scenario.with_dtn_copies(integer("copies")? as u32),
                 "fault" => faults = parse_fault(spec, value, faults)?,
                 other => {
                     return Err(error(
                         spec,
-                        format!("unknown option {other:?} (expected rsus, flows, seed or fault)"),
+                        format!(
+                            "unknown option {other:?} (expected rsus, flows, seed, buffer, ttl, \
+                             copies or fault)"
+                        ),
                     ))
                 }
             }
@@ -259,6 +287,31 @@ mod tests {
         assert_eq!(s.rsu_count, 4);
         assert_eq!(s.flows, 5);
         assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn parses_the_disrupted_family_and_dtn_knobs() {
+        let s = parse("disrupted-16").unwrap();
+        assert_eq!(s.vehicle_count(), 16);
+        assert!(s.name.contains("disrupted"));
+        assert!(!s.faults.is_empty(), "disrupted highway schedules outages");
+
+        let s = parse("highway-20:buffer=64,ttl=45s,copies=4").unwrap();
+        assert_eq!(s.dtn.buffer_capacity, 64);
+        assert_eq!(s.dtn.bundle_ttl, SimDuration::from_secs(45.0));
+        assert_eq!(s.dtn.copies, 4);
+        // The bare-number ttl spelling works too.
+        assert_eq!(
+            parse("highway-20:ttl=45").unwrap().dtn.bundle_ttl,
+            SimDuration::from_secs(45.0)
+        );
+
+        let err = parse("highway-20:ttl=soon").unwrap_err();
+        assert!(err.message.contains("ttl"), "{err}");
+        let err = parse("highway-20:ttl=-3").unwrap_err();
+        assert!(err.message.contains("positive"), "{err}");
+        let err = parse("highway-20:buffer=lots").unwrap_err();
+        assert!(err.message.contains("buffer"), "{err}");
     }
 
     #[test]

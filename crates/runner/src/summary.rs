@@ -89,7 +89,7 @@ impl SummaryStat {
 }
 
 /// Names of the metrics a [`Summary`] carries, in export order.
-pub const METRIC_NAMES: [&str; 15] = [
+pub const METRIC_NAMES: [&str; 21] = [
     "data_sent",
     "data_delivered",
     "duplicate_deliveries",
@@ -105,6 +105,12 @@ pub const METRIC_NAMES: [&str; 15] = [
     "route_errors",
     "drops",
     "avg_neighbors",
+    "bundles_stored",
+    "bundles_forwarded",
+    "bundles_expired",
+    "bundles_evicted",
+    "custody_transfers",
+    "buffer_peak",
 ];
 
 /// Per-metric statistical summary of one experiment cell's replications.
@@ -142,6 +148,18 @@ pub struct Summary {
     pub drops: SummaryStat,
     /// Average neighbour count.
     pub avg_neighbors: SummaryStat,
+    /// Bundles stored into DTN buffers.
+    pub bundles_stored: SummaryStat,
+    /// Bundle copies forwarded on neighbour contact.
+    pub bundles_forwarded: SummaryStat,
+    /// Bundles whose TTL ran out in a buffer.
+    pub bundles_expired: SummaryStat,
+    /// Bundles evicted under buffer pressure.
+    pub bundles_evicted: SummaryStat,
+    /// Custody hand-overs.
+    pub custody_transfers: SummaryStat,
+    /// Peak bundle-buffer occupancy at any node.
+    pub buffer_peak: SummaryStat,
 }
 
 impl Summary {
@@ -176,12 +194,18 @@ impl Summary {
             route_errors: stat_u(&|r| r.route_errors),
             drops: stat_u(&|r| r.drops),
             avg_neighbors: stat_f(&|r| r.avg_neighbors),
+            bundles_stored: stat_u(&|r| r.bundles_stored),
+            bundles_forwarded: stat_u(&|r| r.bundles_forwarded),
+            bundles_expired: stat_u(&|r| r.bundles_expired),
+            bundles_evicted: stat_u(&|r| r.bundles_evicted),
+            custody_transfers: stat_u(&|r| r.custody_transfers),
+            buffer_peak: stat_u(&|r| r.buffer_peak),
         })
     }
 
     /// The metrics in [`METRIC_NAMES`] order.
     #[must_use]
-    pub fn metrics(&self) -> [(&'static str, &SummaryStat); 15] {
+    pub fn metrics(&self) -> [(&'static str, &SummaryStat); 21] {
         [
             ("data_sent", &self.data_sent),
             ("data_delivered", &self.data_delivered),
@@ -201,6 +225,12 @@ impl Summary {
             ("route_errors", &self.route_errors),
             ("drops", &self.drops),
             ("avg_neighbors", &self.avg_neighbors),
+            ("bundles_stored", &self.bundles_stored),
+            ("bundles_forwarded", &self.bundles_forwarded),
+            ("bundles_expired", &self.bundles_expired),
+            ("bundles_evicted", &self.bundles_evicted),
+            ("custody_transfers", &self.custody_transfers),
+            ("buffer_peak", &self.buffer_peak),
         ]
     }
 
@@ -231,6 +261,12 @@ impl Summary {
             "route_errors" => &mut self.route_errors,
             "drops" => &mut self.drops,
             "avg_neighbors" => &mut self.avg_neighbors,
+            "bundles_stored" => &mut self.bundles_stored,
+            "bundles_forwarded" => &mut self.bundles_forwarded,
+            "bundles_expired" => &mut self.bundles_expired,
+            "bundles_evicted" => &mut self.bundles_evicted,
+            "custody_transfers" => &mut self.custody_transfers,
+            "buffer_peak" => &mut self.buffer_peak,
             _ => return None,
         };
         Some(stat)
@@ -260,6 +296,12 @@ impl Summary {
             route_errors: round(&self.route_errors),
             drops: round(&self.drops),
             avg_neighbors: self.avg_neighbors.mean,
+            bundles_stored: round(&self.bundles_stored),
+            bundles_forwarded: round(&self.bundles_forwarded),
+            bundles_expired: round(&self.bundles_expired),
+            bundles_evicted: round(&self.bundles_evicted),
+            custody_transfers: round(&self.custody_transfers),
+            buffer_peak: round(&self.buffer_peak),
         }
     }
 }

@@ -118,6 +118,30 @@ impl TelemetryEntry {
             "medium_bytes".to_owned(),
             col(&|i| windows[i].medium.bytes_transmitted.value() as f64),
         ));
+        cols.push((
+            "bundles_stored".to_owned(),
+            col(&|i| windows[i].bundles_stored as f64),
+        ));
+        cols.push((
+            "bundles_forwarded".to_owned(),
+            col(&|i| windows[i].bundles_forwarded as f64),
+        ));
+        cols.push((
+            "bundles_expired".to_owned(),
+            col(&|i| windows[i].bundles_expired as f64),
+        ));
+        cols.push((
+            "bundles_evicted".to_owned(),
+            col(&|i| windows[i].bundles_evicted as f64),
+        ));
+        cols.push((
+            "custody_transfers".to_owned(),
+            col(&|i| windows[i].custody_transfers as f64),
+        ));
+        cols.push((
+            "buffer_peak".to_owned(),
+            col(&|i| windows[i].buffer_peak as f64),
+        ));
         let regions = tap.regions();
         cols.push((
             "region_sent".to_owned(),
@@ -384,6 +408,7 @@ mod tests {
         // which is what rolls the window forward.
         tap.on_event(SimTime::from_secs(1.5), &medium);
         tap.on_delivery(SimTime::from_secs(1.5), 0.012_345_678_9);
+        tap.on_bundle(SimTime::from_secs(1.5), vanet_core::BundleOp::Stored, 2);
         tap.on_finish(SimTime::from_secs(2.0), &medium);
         tap
     }
@@ -422,6 +447,9 @@ mod tests {
         assert_eq!(e.col("fault_drops"), Some(&[0.0, 0.0, 0.0][..]));
         assert_eq!(e.col("outages"), Some(&[0.0, 0.0, 0.0][..]));
         assert_eq!(e.col("medium_fault_losses"), Some(&[0.0, 0.0, 0.0][..]));
+        assert_eq!(e.col("bundles_stored"), Some(&[0.0, 1.0, 0.0][..]));
+        assert_eq!(e.col("buffer_peak"), Some(&[0.0, 2.0, 0.0][..]));
+        assert_eq!(e.col("custody_transfers"), Some(&[0.0, 0.0, 0.0][..]));
         assert!(e
             .window_col_names()
             .iter()

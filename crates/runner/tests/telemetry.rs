@@ -240,6 +240,77 @@ fn truncated_telemetry_heals_by_reexecuting_only_that_job() {
 }
 
 #[test]
+fn timeseries_round_trips_dtn_buffer_columns() {
+    // A DTN campaign's windowed buffer telemetry, exported through
+    // `analyze --timeseries`, must reconstruct the run's own report: counter
+    // columns sum back to the report totals and the occupancy column's max
+    // is the report's buffer peak.
+    let plan = CampaignPlan::new("tel-dtn").cell_with(
+        "epidemic",
+        tiny(14, 100).with_name("tel-dtn-epidemic"),
+        ProtocolKind::Epidemic,
+        ReplicationPolicy::Fixed(1),
+    );
+    let dir = temp_dir("dtn");
+    let _ = Runner::new()
+        .with_progress(false)
+        .with_journal(&dir)
+        .with_telemetry(settings())
+        .run_plan(&plan);
+
+    let timeseries = run_analyze(&["--timeseries".to_owned(), dir.display().to_string()])
+        .expect("timeseries mode");
+    let mut lines = timeseries.text.lines().filter(|l| !l.trim().is_empty());
+    let header: Vec<&str> = lines.next().expect("csv header").split(',').collect();
+    let idx = |name: &str| {
+        header
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let columns = [
+        "bundles_stored",
+        "bundles_forwarded",
+        "bundles_expired",
+        "bundles_evicted",
+        "custody_transfers",
+    ];
+    let mut sums = [0.0_f64; 5];
+    let mut peak = 0.0_f64;
+    let mut seed = None;
+    for row in lines {
+        let cells: Vec<&str> = row.split(',').collect();
+        seed = Some(cells[idx("seed")].parse::<u64>().expect("seed cell"));
+        for (sum, name) in sums.iter_mut().zip(columns) {
+            *sum += cells[idx(name)].parse::<f64>().expect("numeric cell");
+        }
+        peak = peak.max(cells[idx("buffer_peak")].parse::<f64>().expect("peak"));
+    }
+
+    // Re-run the job the journal recorded and compare against its report.
+    let report = run_scenario(
+        tiny(14, seed.expect("at least one row")),
+        ProtocolKind::Epidemic,
+    );
+    let expected = [
+        report.bundles_stored,
+        report.bundles_forwarded,
+        report.bundles_expired,
+        report.bundles_evicted,
+        report.custody_transfers,
+    ];
+    assert!(report.bundles_stored > 0, "epidemic must buffer bundles");
+    for ((sum, want), name) in sums.iter().zip(expected).zip(columns) {
+        assert_eq!(*sum as u64, want, "{name}: windowed sum vs report total");
+    }
+    assert_eq!(
+        peak as u64, report.buffer_peak,
+        "windowed max vs report peak"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn analyze_produces_csv_and_significance_verdicts_from_a_real_campaign() {
     let plan = CampaignPlan::new("tel-analyze")
         .cell_with(

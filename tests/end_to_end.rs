@@ -11,14 +11,13 @@ fn dense_highway(seed: u64) -> Scenario {
         .with_duration(SimDuration::from_secs(25.0))
 }
 
-/// Seed-sensitivity note: the delivery thresholds below are deliberately
-/// loose. On-demand protocols (AODV and its policy variants) are fragile on
-/// dense highways — a single unlucky seed triggers heavy RERR churn and can
-/// halve the delivery ratio. Neighbour losses are detected at tick
-/// boundaries (lazily, via per-table expiry deadlines — the detection times
-/// are identical to the historical eager per-tick sweep, as pinned by the
-/// golden-report tests), so the thresholds encode "delivers a meaningful
-/// share", not a precise expectation.
+/// The delivery thresholds below are deliberately loose: they encode
+/// "delivers a meaningful share", not a precise expectation, because
+/// per-seed delivery naturally varies across protocols. What is *not* left
+/// loose any more is AODV's historical failure mode — unbounded RERR storms
+/// on dense highways — which is now capped by the per-destination
+/// origination rate limit and asserted exactly in
+/// [`aodv_rerr_rate_limit_bounds_churn`].
 fn assert_delivers(kind: ProtocolKind, scenario: Scenario, min_ratio: f64) -> Report {
     let report = run_scenario(scenario, kind);
     assert!(report.data_sent > 0, "{kind}: no traffic generated");
@@ -160,5 +159,62 @@ fn reports_render_as_table_and_csv() {
     assert_eq!(
         Report::csv_header().split(',').count(),
         report.csv_row().split(',').count()
+    );
+}
+
+#[test]
+fn dtn_family_survives_disruption_where_connected_routing_fails() {
+    // A sparse 4 km ring (16 vehicles, 120 m radio) with real counterflow
+    // and two scheduled node outages: the network is partitioned for most of
+    // the run, so contemporaneous-path routing finds no route while the
+    // store-carry-forward family ferries bundles across the gaps on the
+    // opposite carriageway.
+    let scenario = Scenario::disrupted_highway(16);
+    for kind in [ProtocolKind::Flooding, ProtocolKind::Aodv] {
+        let r = run_scenario(scenario.clone(), kind);
+        assert!(
+            r.delivery_ratio <= 0.02,
+            "{kind}: connected-path routing should collapse here, got {:.3}",
+            r.delivery_ratio
+        );
+    }
+    for kind in [ProtocolKind::Epidemic, ProtocolKind::SprayWait] {
+        let r = run_scenario(scenario.clone(), kind);
+        assert!(
+            r.delivery_ratio >= 0.10,
+            "{kind}: store-carry-forward should deliver through partitions, got {:.3}",
+            r.delivery_ratio
+        );
+        assert!(r.bundles_stored > 0, "{kind}: bundles must be buffered");
+        assert!(r.bundles_forwarded > 0, "{kind}: bundles must be ferried");
+        assert!(r.buffer_peak > 0, "{kind}: occupancy must be tracked");
+    }
+}
+
+#[test]
+fn aodv_rerr_rate_limit_bounds_churn() {
+    use vanet_routing::{Aodv, AodvPolicy, OnDemandConfig};
+    // Seed 3 historically triggered the worst RERR storm on this scenario.
+    // Zeroing both the origination interval and the relay-dedup horizon
+    // reproduces the unlimited pre-fix behaviour, where every receiver
+    // re-broadcast every RERR and the storm was bounded only by packet TTL.
+    let scenario = dense_highway(3);
+    let limited = run_scenario(scenario.clone(), ProtocolKind::Aodv);
+    let unlimited = Simulation::with_factory(scenario, &|| {
+        Box::new(Aodv::with_config(
+            AodvPolicy::default(),
+            OnDemandConfig {
+                rerr_interval: SimDuration::from_secs(0.0),
+                rerr_seen_horizon_s: 0.0,
+                ..OnDemandConfig::default()
+            },
+        ))
+    })
+    .run();
+    assert!(
+        limited.route_errors * 2 <= unlimited.route_errors,
+        "rate limit should at least halve RERR volume ({} vs {})",
+        limited.route_errors,
+        unlimited.route_errors
     );
 }
